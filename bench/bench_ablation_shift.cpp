@@ -1,0 +1,85 @@
+// Ablation -- scan-shift switching per fill policy.
+//
+// The paper sets shift power aside ("lower frequencies are used during test
+// pattern shift") and notes fill-adjacent exists mostly to cut shift
+// switching. This bench quantifies both statements on the reproduction SOC:
+// shift power is indeed small against the at-speed launch window once the
+// 10 MHz shift clock is accounted for, and fill-adjacent cuts scan-cell
+// toggles by a large factor over random fill.
+#include "bench_common.h"
+
+#include "atpg/shift_power.h"
+#include "util/stats.h"
+
+namespace scap {
+namespace {
+
+void print_ablation() {
+  const Experiment& exp = bench::experiment();
+  const Netlist& nl = exp.soc.netlist;
+  const double shift_mhz = exp.soc.config.shift_mhz;
+
+  // Reuse the conventional flow's cubes by re-filling the same care bits
+  // under each policy: approximate by refilling the final patterns' care
+  // bits is impossible post-fill, so generate fresh cubes per policy.
+  TextTable t({"fill policy", "avg toggles/cycle", "peak cycle toggles",
+               "avg shift power [mW]", "vs at-speed SCAP"});
+  const auto& conv_scap = bench::conventional_scap();
+  RunningStats scap_stats;
+  for (const auto& rep : conv_scap) {
+    scap_stats.add(rep.scap_mw(Rail::kVdd) + rep.scap_mw(Rail::kVss));
+  }
+
+  for (FillMode mode : {FillMode::kRandom, FillMode::kFill0,
+                        FillMode::kAdjacent, FillMode::kQuiet}) {
+    AtpgOptions opt = bench::bench_atpg_options();
+    opt.fill = mode;
+    AtpgEngine engine(nl, exp.ctx);
+    // A trimmed fault sample keeps this per-policy ATPG quick.
+    std::vector<TdfFault> sample;
+    for (std::size_t i = 0; i < exp.faults.size(); i += 8) {
+      sample.push_back(exp.faults[i]);
+    }
+    const AtpgResult res = engine.run(sample, opt);
+
+    RunningStats toggles, peak, power;
+    std::vector<std::uint8_t> prev;  // previous response shifts out
+    for (std::size_t i = 0; i < res.patterns.size() && i < 64; ++i) {
+      const auto rep = analyze_shift_power(nl, exp.soc.scan,
+                                           exp.soc.parasitics, *exp.lib,
+                                           res.patterns.patterns[i], prev);
+      toggles.add(rep.avg_toggles_per_cycle);
+      peak.add(static_cast<double>(rep.peak_cycle_toggles));
+      power.add(rep.avg_power_mw(shift_mhz));
+      prev = res.patterns.patterns[i].s1;
+      prev.resize(nl.num_flops());
+    }
+    t.add_row({fill_mode_name(mode), TextTable::num(toggles.mean(), 1),
+               TextTable::num(peak.max(), 0),
+               TextTable::num(power.mean(), 2),
+               TextTable::num(100.0 * power.mean() /
+                                  std::max(1e-9, scap_stats.mean()),
+                              1) +
+                   "%"});
+  }
+  std::printf(
+      "%s\n",
+      t.render("Ablation: shift switching per fill policy (shift clock " +
+               TextTable::num(shift_mhz, 0) + " MHz)")
+          .c_str());
+  std::printf("Expected shape: fill-adjacent minimizes shift toggles (its "
+              "purpose per the paper);\nat the slow shift clock, average "
+              "shift power stays far below at-speed SCAP, which is\nwhy the "
+              "paper ignores shift IR-drop.\n\n");
+}
+
+}  // namespace
+}  // namespace scap
+
+int main(int argc, char** argv) {
+  scap::bench::print_header("Ablation", "scan-shift power per fill policy");
+  scap::print_ablation();
+  (void)argc;
+  (void)argv;
+  return 0;
+}

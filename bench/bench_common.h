@@ -1,0 +1,113 @@
+// Shared infrastructure for the benchmark binaries.
+//
+// Every bench regenerates one table or figure of the paper on the scaled
+// synthetic SOC, printing our measured values next to the paper's published
+// ones (shape comparison -- the substrate is a simulator, not the authors'
+// 180 nm testbed), and then runs google-benchmark micro-kernels for the
+// computation at that bench's core.
+//
+// SCAPGEN_BENCH_SCALE overrides the SOC scale (default 0.04 => ~900 flops;
+// the paper's Turbo-Eagle would be scale 1.0).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/power_aware.h"
+#include "core/validation.h"
+#include "util/table.h"
+
+namespace scap::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("SCAPGEN_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0) return s;
+  }
+  return 0.04;
+}
+
+/// The canonical experiment, built once per process.
+inline const Experiment& experiment() {
+  static const Experiment* exp =
+      new Experiment(Experiment::standard(bench_scale(), /*seed=*/2007));
+  return *exp;
+}
+
+/// ATPG options used by all pattern-generation benches (deterministic).
+inline AtpgOptions bench_atpg_options() {
+  AtpgOptions opt;
+  opt.seed = 2007;
+  opt.backtrack_limit = 32;
+  opt.chains = &experiment().soc.scan.chains;
+  return opt;
+}
+
+/// Conventional random-fill flow (the paper's baseline), built once.
+inline const FlowResult& conventional_flow() {
+  static const FlowResult* flow = [] {
+    const Experiment& exp = experiment();
+    AtpgOptions opt = bench_atpg_options();
+    opt.fill = FillMode::kRandom;
+    return new FlowResult(
+        run_conventional_atpg(exp.soc.netlist, exp.ctx, exp.faults, opt));
+  }();
+  return *flow;
+}
+
+/// The paper's stepwise power-aware flow (quiet fill), built once.
+inline const FlowResult& power_aware_flow() {
+  static const FlowResult* flow = [] {
+    const Experiment& exp = experiment();
+    AtpgOptions opt = bench_atpg_options();
+    opt.fill = FillMode::kQuiet;
+    return new FlowResult(run_power_aware_atpg(
+        exp.soc.netlist, exp.ctx, exp.faults,
+        StepPlan::paper_default(exp.soc.netlist.block_count()), opt));
+  }();
+  return *flow;
+}
+
+inline const std::vector<ScapReport>& conventional_scap() {
+  static const auto* prof = [] {
+    const Experiment& exp = experiment();
+    return new std::vector<ScapReport>(scap_profile(
+        exp.soc, *exp.lib, exp.ctx, conventional_flow().patterns));
+  }();
+  return *prof;
+}
+
+inline const std::vector<ScapReport>& power_aware_scap() {
+  static const auto* prof = [] {
+    const Experiment& exp = experiment();
+    return new std::vector<ScapReport>(scap_profile(
+        exp.soc, *exp.lib, exp.ctx, power_aware_flow().patterns));
+  }();
+  return *prof;
+}
+
+inline void print_header(const char* experiment_id, const char* what) {
+  std::printf("=============================================================\n");
+  std::printf("%s -- %s\n", experiment_id, what);
+  std::printf("SOC scale %.3f (paper's Turbo-Eagle ~ scale 1.0), seed 2007\n",
+              bench_scale());
+  std::printf("=============================================================\n");
+}
+
+/// Down-sampled series printer for figure-style data.
+template <typename Fn>
+void print_series(const char* name, std::size_t n, Fn&& value,
+                  std::size_t max_points = 40) {
+  std::printf("%s (%zu points, down-sampled):\n  index:", name, n);
+  const std::size_t step = n <= max_points ? 1 : n / max_points;
+  for (std::size_t i = 0; i < n; i += step) std::printf(" %zu", i);
+  std::printf("\n  value:");
+  for (std::size_t i = 0; i < n; i += step) std::printf(" %.2f", value(i));
+  std::printf("\n");
+}
+
+}  // namespace scap::bench

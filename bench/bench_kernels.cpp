@@ -1,0 +1,109 @@
+// Micro-benchmarks of the library's computational kernels.
+#include "bench_common.h"
+
+#include "power/dynamic_ir.h"
+#include "sim/logic_sim.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+void BM_LogicFrameScalar(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  LogicSim sim(exp.soc.netlist);
+  Rng rng(1);
+  std::vector<std::uint8_t> s1(exp.soc.netlist.num_flops());
+  for (auto& b : s1) b = static_cast<std::uint8_t>(rng.below(2));
+  std::vector<std::uint8_t> nets;
+  for (auto _ : state) {
+    sim.eval_frame(s1, exp.ctx.pi_values, nets);
+    benchmark::DoNotOptimize(nets.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(exp.soc.netlist.num_gates()));
+}
+BENCHMARK(BM_LogicFrameScalar);
+
+void BM_LogicFrameWord64(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  WordSim sim(exp.soc.netlist);
+  Rng rng(1);
+  std::vector<std::uint64_t> s1(exp.soc.netlist.num_flops());
+  for (auto& w : s1) w = rng.word();
+  std::vector<std::uint64_t> pi(exp.soc.netlist.primary_inputs().size(), 0);
+  std::vector<std::uint64_t> nets;
+  for (auto _ : state) {
+    sim.eval_frame(s1, pi, nets);
+    benchmark::DoNotOptimize(nets.data());
+  }
+  // 64 patterns per evaluation.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(exp.soc.netlist.num_gates()));
+}
+BENCHMARK(BM_LogicFrameWord64);
+
+void BM_EventSimPattern(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  PatternAnalyzer analyzer(exp.soc, *exp.lib);
+  Rng rng(2);
+  Pattern p;
+  p.s1.resize(exp.soc.netlist.num_flops());
+  for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+  for (auto _ : state) {
+    auto pa = analyzer.analyze(exp.ctx, p);
+    benchmark::DoNotOptimize(pa.trace.num_events_processed);
+  }
+}
+BENCHMARK(BM_EventSimPattern)->Unit(benchmark::kMillisecond);
+
+void BM_GridSolveBothRails(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  PatternAnalyzer analyzer(exp.soc, *exp.lib);
+  Rng rng(3);
+  Pattern p;
+  p.s1.resize(exp.soc.netlist.num_flops());
+  for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+  const auto pa = analyzer.analyze(exp.ctx, p);
+  for (auto _ : state) {
+    auto rep = analyze_pattern_ir(exp.soc.netlist, exp.soc.placement,
+                                  exp.soc.parasitics, *exp.lib,
+                                  exp.soc.floorplan, exp.grid, pa.trace,
+                                  &exp.soc.clock_tree, exp.ctx.domain);
+    benchmark::DoNotOptimize(rep.worst_vdd_v);
+  }
+}
+BENCHMARK(BM_GridSolveBothRails)->Unit(benchmark::kMillisecond);
+
+void BM_PodemImplication(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  Podem podem(exp.soc.netlist, exp.ctx);
+  Rng rng(4);
+  std::vector<std::uint8_t> s1(exp.soc.netlist.num_flops());
+  for (auto& b : s1) b = static_cast<std::uint8_t>(rng.below(2));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        podem.probe(exp.faults[i++ % exp.faults.size()], s1));
+  }
+}
+BENCHMARK(BM_PodemImplication)->Unit(benchmark::kMillisecond);
+
+void BM_ClockTreeSynthesis(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  for (auto _ : state) {
+    auto ct = ClockTree::synthesize(exp.soc.netlist, exp.soc.placement,
+                                    *exp.lib);
+    benchmark::DoNotOptimize(ct.buffer_count());
+  }
+}
+BENCHMARK(BM_ClockTreeSynthesis)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scap
+
+int main(int argc, char** argv) {
+  scap::bench::print_header("Kernels", "micro-benchmarks of the core engines");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

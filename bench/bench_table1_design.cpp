@@ -1,0 +1,75 @@
+// Table 1 -- Design characteristics.
+//
+// Paper: 6 clock domains, 16 scan chains, ~23K scan flops, 22 negative-edge
+// scan flops on a separate chain, and the transition-delay-fault universe.
+// We report the same characteristics for the scaled synthetic SOC.
+#include "bench_common.h"
+
+#include "netlist/design_stats.h"
+#include "sim/sta.h"
+
+namespace scap {
+namespace {
+
+void print_table1() {
+  const Experiment& exp = bench::experiment();
+  const DesignStats s = compute_design_stats(exp.soc.netlist);
+
+  TextTable t({"characteristic", "paper (Turbo-Eagle)", "this repro"});
+  t.add_row({"Clock domains", "6", std::to_string(s.num_clock_domains)});
+  t.add_row({"Scan chains", "16", std::to_string(exp.soc.scan.chains.size())});
+  t.add_row({"Total scan flops", "~23000", std::to_string(s.num_flops)});
+  t.add_row({"Negative-edge scan flops", "22",
+             std::to_string(s.num_neg_edge_flops)});
+  t.add_row({"Transition delay faults (all pins)", "n/a (not printed)",
+             std::to_string(exp.all_faults.size())});
+  t.add_row({"TDF after equivalence collapsing", "-",
+             std::to_string(exp.faults.size())});
+  t.add_row({"Combinational gates", "-", std::to_string(s.num_gates)});
+  t.add_row({"Blocks (B1..B6)", "6", std::to_string(s.num_blocks)});
+  t.add_row({"Max logic depth", "-", std::to_string(s.max_logic_level)});
+  {
+    DelayModel dm(exp.soc.netlist, *exp.lib, exp.soc.parasitics);
+    std::vector<double> arrivals(exp.soc.netlist.num_flops());
+    for (FlopId f = 0; f < exp.soc.netlist.num_flops(); ++f) {
+      arrivals[f] = exp.soc.clock_tree.nominal_arrival_ns(f);
+    }
+    const StaReport sta = run_sta(exp.soc.netlist, dm, *exp.lib, arrivals);
+    const double tmin = sta.min_period_ns(0.1, arrivals, exp.soc.netlist);
+    t.add_row({"STA min period / Fmax", "10 ns / 100 MHz (timing closed)",
+               TextTable::num(tmin, 2) + " ns / " +
+                   TextTable::num(1000.0 / tmin, 0) + " MHz"});
+  }
+  std::printf("%s\n", t.render("Table 1: design characteristics").c_str());
+
+  std::printf("%s\n", format_design_stats(s).c_str());
+}
+
+void BM_FaultEnumeration(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  for (auto _ : state) {
+    auto faults = enumerate_faults(exp.soc.netlist);
+    benchmark::DoNotOptimize(faults);
+  }
+}
+BENCHMARK(BM_FaultEnumeration);
+
+void BM_FaultCollapsing(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  for (auto _ : state) {
+    auto collapsed = collapse_faults(exp.soc.netlist, exp.all_faults);
+    benchmark::DoNotOptimize(collapsed);
+  }
+}
+BENCHMARK(BM_FaultCollapsing);
+
+}  // namespace
+}  // namespace scap
+
+int main(int argc, char** argv) {
+  scap::bench::print_header("Table 1", "design characteristics");
+  scap::print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

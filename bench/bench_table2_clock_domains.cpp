@@ -1,0 +1,71 @@
+// Table 2 -- Clock-domain analysis.
+//
+// Paper: six domains; clka is the dominant one (~18K of ~23K scan flops at
+// 100 MHz, spanning B1..B6), side domains cover single blocks. Transition
+// patterns are generated per clock domain, so the dominant domain drives the
+// whole methodology.
+#include "bench_common.h"
+
+namespace scap {
+namespace {
+
+void print_table2() {
+  const Experiment& exp = bench::experiment();
+  const Netlist& nl = exp.soc.netlist;
+  const auto by_domain = nl.flops_by_domain();
+
+  TextTable t({"domain", "#scan cells", "freq [MHz]", "blocks covered",
+               "share"});
+  for (DomainId d = 0; d < nl.domain_count(); ++d) {
+    std::vector<bool> covered(nl.block_count(), false);
+    for (FlopId f : by_domain[d]) covered[nl.flop(f).block] = true;
+    std::string blocks;
+    for (std::size_t b = 0; b < covered.size(); ++b) {
+      if (covered[b]) {
+        if (!blocks.empty()) blocks += ",";
+        blocks += "B" + std::to_string(b + 1);
+      }
+    }
+    t.add_row({std::string("clk") + static_cast<char>('a' + d),
+               std::to_string(by_domain[d].size()),
+               TextTable::num(exp.soc.config.domain_freq_mhz[d], 0), blocks,
+               TextTable::num(100.0 * static_cast<double>(by_domain[d].size()) /
+                                  static_cast<double>(nl.num_flops()),
+                              1) +
+                   "%"});
+  }
+  std::printf("%s\n", t.render("Table 2: clock domain analysis").c_str());
+  std::printf("Paper shape: clka dominant (~78%% of flops, 100 MHz, B1-B6);\n"
+              "side domains clkb..clkf cover one block each (B1, B3, B6, B6, "
+              "B2).\n\n");
+}
+
+void BM_BuildSoc(benchmark::State& state) {
+  for (auto _ : state) {
+    SocConfig cfg = SocConfig::turbo_eagle_scaled(0.01);
+    SocDesign soc = build_soc(cfg);
+    benchmark::DoNotOptimize(soc.netlist.num_gates());
+  }
+}
+BENCHMARK(BM_BuildSoc)->Unit(benchmark::kMillisecond);
+
+void BM_ScanStitch(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  for (auto _ : state) {
+    auto sc = ScanChains::build(exp.soc.netlist, exp.soc.placement,
+                                exp.soc.config.scan_chains);
+    benchmark::DoNotOptimize(sc.max_chain_length());
+  }
+}
+BENCHMARK(BM_ScanStitch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scap
+
+int main(int argc, char** argv) {
+  scap::bench::print_header("Table 2", "clock domain analysis");
+  scap::print_table2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Table 3 -- Statistical (vector-less) functional IR-drop analysis per block.
+//
+// Paper: 30% net toggle probability; Case1 averages over the full cycle,
+// Case2 concentrates the same switching into half the cycle (the average
+// switching-time-frame observation). Published shape:
+//   - average switching power doubles from Case1 to Case2 in every block,
+//   - worst average IR-drop does NOT double for the small peripheral blocks
+//     (B1..B4, B6 sit next to the pad ring),
+//   - B5 consumes the most power and sees the highest IR-drop once the
+//     window shrinks -> it needs special attention during ATPG.
+// The Case2 block powers become the SCAP screening thresholds.
+#include "bench_common.h"
+
+namespace scap {
+namespace {
+
+void print_table3() {
+  const Experiment& exp = bench::experiment();
+  const StatisticalReport& c1 = exp.stat_case1;
+  const StatisticalReport& c2 = exp.stat_case2;
+
+  TextTable t({"block", "P case1 [mW]", "VDD drop c1 [V]", "VSS rise c1 [V]",
+               "P case2 [mW]", "VDD drop c2 [V]", "VSS rise c2 [V]",
+               "drop ratio c2/c1"});
+  for (std::size_t b = 0; b < c1.block_power_mw.size(); ++b) {
+    t.add_row({"B" + std::to_string(b + 1),
+               TextTable::num(c1.block_power_mw[b], 1),
+               TextTable::num(c1.block_worst_vdd_v[b], 3),
+               TextTable::num(c1.block_worst_vss_v[b], 3),
+               TextTable::num(c2.block_power_mw[b], 1),
+               TextTable::num(c2.block_worst_vdd_v[b], 3),
+               TextTable::num(c2.block_worst_vss_v[b], 3),
+               TextTable::num(c2.block_worst_vdd_v[b] /
+                                  std::max(1e-12, c1.block_worst_vdd_v[b]),
+                              2)});
+  }
+  t.add_row({"Chip", TextTable::num(c1.chip_power_mw, 1),
+             TextTable::num(c1.chip_worst_vdd_v, 3),
+             TextTable::num(c1.chip_worst_vss_v, 3),
+             TextTable::num(c2.chip_power_mw, 1),
+             TextTable::num(c2.chip_worst_vdd_v, 3),
+             TextTable::num(c2.chip_worst_vss_v, 3),
+             TextTable::num(c2.chip_worst_vdd_v /
+                                std::max(1e-12, c1.chip_worst_vdd_v),
+                            2)});
+  std::printf("%s\n",
+              t.render("Table 3: statistical IR-drop, Case1 (full cycle) vs "
+                       "Case2 (half-cycle STW), toggle prob 0.30")
+                  .c_str());
+
+  // Shape checks against the paper.
+  std::size_t hottest_power = 0, hottest_drop = 0;
+  for (std::size_t b = 1; b < c2.block_power_mw.size(); ++b) {
+    if (c2.block_power_mw[b] > c2.block_power_mw[hottest_power]) {
+      hottest_power = b;
+    }
+    if (c2.block_worst_vdd_v[b] > c2.block_worst_vdd_v[hottest_drop]) {
+      hottest_drop = b;
+    }
+  }
+  std::printf("Shape vs paper: power doubles in every block (exact, by "
+              "construction of Case2);\n");
+  std::printf("  hottest block by Case2 power:  B%zu (paper: B5)\n",
+              hottest_power + 1);
+  std::printf("  hottest block by Case2 IR-drop: B%zu (paper: B5)\n",
+              hottest_drop + 1);
+  std::printf("  B5 Case2 power (the paper's 204 mW-class SCAP threshold "
+              "here): %.1f mW\n\n",
+              exp.thresholds.block_mw[Experiment::kHotBlock]);
+}
+
+void BM_StatisticalAnalysis(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  StatisticalOptions opt;
+  opt.window_fraction = 0.5;
+  for (auto _ : state) {
+    auto rep = analyze_statistical(exp.soc.netlist, exp.soc.placement,
+                                   exp.soc.parasitics, *exp.lib,
+                                   exp.soc.floorplan, exp.grid,
+                                   exp.soc.config.domain_freq_mhz,
+                                   &exp.soc.clock_tree, opt);
+    benchmark::DoNotOptimize(rep.chip_worst_vdd_v);
+  }
+}
+BENCHMARK(BM_StatisticalAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_GridSolve(benchmark::State& state) {
+  const Experiment& exp = bench::experiment();
+  std::vector<Point> where{exp.soc.floorplan.block(4).rect.center()};
+  std::vector<double> amps{0.1};
+  for (auto _ : state) {
+    auto sol = exp.grid.solve(where, amps, true);
+    benchmark::DoNotOptimize(sol.worst());
+  }
+}
+BENCHMARK(BM_GridSolve)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace scap
+
+int main(int argc, char** argv) {
+  scap::bench::print_header("Table 3", "statistical functional IR-drop per block");
+  scap::print_table3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Tester hand-off: everything a downstream flow needs, written to disk.
+//
+//   design.v       structural Verilog netlist
+//   design.sdf     back-annotated gate delays (nominal corner)
+//   design.spef    extracted net parasitics
+//   patterns.txt   the signed-off launch-off-capture pattern set
+//
+// The pattern set is screened against the B5 SCAP threshold first and
+// repaired if anything violates, so what lands on the tester is the
+// supply-noise-safe set.
+#include <cstdio>
+#include <fstream>
+
+#include "atpg/pattern_io.h"
+#include "core/experiment.h"
+#include "core/power_aware.h"
+#include "core/validation.h"
+#include "layout/spef.h"
+#include "netlist/verilog.h"
+#include "sim/sdf.h"
+
+int main() {
+  using namespace scap;
+
+  Experiment exp = Experiment::standard(/*scale=*/0.02, /*seed=*/2007);
+  const Netlist& nl = exp.soc.netlist;
+
+  // Power-aware pattern generation, then a repair pass as the safety net.
+  AtpgOptions opt;
+  opt.fill = FillMode::kQuiet;
+  opt.seed = 2007;
+  opt.chains = &exp.soc.scan.chains;
+  FlowResult flow = run_power_aware_atpg(
+      nl, exp.ctx, exp.faults, StepPlan::paper_default(nl.block_count()), opt);
+  const RepairResult repaired = repair_scap_violations(
+      exp.soc, *exp.lib, exp.ctx, exp.faults, flow.patterns, exp.thresholds,
+      Experiment::kHotBlock, opt);
+  std::printf("patterns: %zu generated, %zu violations repaired away, %zu "
+              "shipped\n",
+              repaired.patterns_before, repaired.violations_before,
+              repaired.patterns_after);
+
+  auto dump = [](const char* path, const std::string& text) {
+    std::ofstream os(path);
+    os << text;
+    std::printf("wrote %-13s (%zu bytes)\n", path, text.size());
+  };
+  dump("design.v", to_verilog(nl));
+  DelayModel dm(nl, *exp.lib, exp.soc.parasitics);
+  dump("design.sdf", to_sdf(nl, dm));
+  dump("design.spef", to_spef(nl, exp.soc.parasitics));
+  dump("patterns.txt", to_pattern_text(repaired.patterns, exp.ctx));
+
+  // Prove the hand-off is lossless: re-read both the netlist and the
+  // patterns and regrade.
+  const Netlist back = parse_verilog(to_verilog(nl));
+  const PatternSet reloaded =
+      parse_patterns(to_pattern_text(repaired.patterns, exp.ctx), exp.ctx);
+  FaultSimulator fsim(back, exp.ctx);
+  const auto first = fsim.grade(reloaded.patterns, exp.faults, nullptr);
+  std::size_t detected = 0;
+  for (auto idx : first) detected += (idx != FaultSimulator::kUndetected);
+  std::printf("round-trip regrade: %zu / %zu faults detected (%.2f%% fault "
+              "coverage)\n",
+              detected, exp.faults.size(),
+              100.0 * static_cast<double>(detected) /
+                  static_cast<double>(exp.faults.size()));
+  return 0;
+}

@@ -1,0 +1,220 @@
+#include "atpg/engine.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "atpg/quiet_state.h"
+
+namespace scap {
+
+AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
+                           const AtpgOptions& opt,
+                           std::vector<FaultStatus>* status) {
+  const Netlist& nl = *nl_;
+  AtpgResult result;
+  result.patterns.domain = ctx_->domain;
+
+  std::vector<FaultStatus> local_status;
+  std::vector<FaultStatus>& st = status ? *status : local_status;
+  if (st.size() != faults.size()) {
+    st.assign(faults.size(), FaultStatus::kUndetected);
+  }
+
+  // Which faults may serve as primary PODEM targets this run.
+  std::vector<std::uint8_t> targetable(faults.size(), 1);
+  if (!opt.target_blocks.empty()) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const BlockId b = fault_block(nl, faults[i]);
+      targetable[i] =
+          b < opt.target_blocks.size() ? opt.target_blocks[b] : 0;
+    }
+  }
+  // A fault already tried as a primary target this run (avoid rework while
+  // its pattern sits in the unsimulated buffer). With n-detect the flag is
+  // re-armed after each simulated batch until the count is satisfied.
+  std::vector<std::uint8_t> tried(faults.size(), 0);
+  std::vector<std::uint32_t> detect_count(faults.size(), 0);
+
+  Podem podem(nl, *ctx_, PodemOptions{opt.backtrack_limit});
+  FaultSimulator fsim(nl, *ctx_);
+  Rng rng(opt.seed);
+
+  std::span<const std::vector<FlopId>> chains;
+  if (opt.chains) chains = *opt.chains;
+
+  // Quiet-state fill needs the idle state; compute it once if any mode asks.
+  std::vector<std::uint8_t> quiet;
+  bool wants_quiet = opt.fill == FillMode::kQuiet;
+  for (FillMode m : opt.per_block_fill) wants_quiet |= (m == FillMode::kQuiet);
+  if (wants_quiet) {
+    quiet = compute_quiet_state(nl, *ctx_).s1;
+    quiet.resize(ctx_->num_vars(), 0);  // LOS scan-in bits idle at 0
+  }
+
+  auto fill_cube = [&](const TestCube& cube) -> Pattern {
+    Pattern p;
+    if (!opt.per_block_fill.empty()) {
+      // Per-block fill covers the flop bits; LOS scan-in tail handled below.
+      TestCube flop_part;
+      flop_part.s1.assign(cube.s1.begin(),
+                          cube.s1.begin() + static_cast<std::ptrdiff_t>(
+                                                nl.num_flops()));
+      p = apply_fill_per_block(nl, flop_part, opt.per_block_fill, rng, chains,
+                               quiet);
+      p.s1.insert(p.s1.end(),
+                  cube.s1.begin() + static_cast<std::ptrdiff_t>(nl.num_flops()),
+                  cube.s1.end());
+    } else {
+      p = apply_fill(cube, opt.fill, rng, chains, quiet);
+    }
+    // LOS scan-in bits: quiet/adjacent have no defined source; use 0 (the
+    // conventional scan-in idle value) unless randomized.
+    for (std::size_t v = nl.num_flops(); v < p.s1.size(); ++v) {
+      if (p.s1[v] != kBitX) continue;
+      p.s1[v] = opt.fill == FillMode::kRandom
+                    ? static_cast<std::uint8_t>(rng.below(2))
+                    : (opt.fill == FillMode::kFill1 ? 1 : 0);
+    }
+    return p;
+  };
+
+  std::vector<Pattern> buffer;
+  std::vector<std::size_t> buffer_care_bits;
+
+  auto flush_buffer = [&]() {
+    if (buffer.empty()) return;
+    fsim.load_batch(buffer);
+    const std::size_t base = result.patterns.patterns.size();
+    result.new_detects_per_pattern.resize(base + buffer.size(), 0);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (st[i] == FaultStatus::kDetected ||
+          st[i] == FaultStatus::kUntestable) {
+        continue;
+      }
+      const std::uint64_t mask = fsim.detect_mask(faults[i]);
+      if (mask == 0) continue;
+      if (detect_count[i] == 0) {
+        // Coverage credit goes to the first detecting pattern ever.
+        const std::size_t idx =
+            base + static_cast<std::size_t>(std::countr_zero(mask));
+        ++result.new_detects_per_pattern[idx];
+      }
+      detect_count[i] += static_cast<std::uint32_t>(std::popcount(mask));
+      if (detect_count[i] >= opt.n_detect) {
+        st[i] = FaultStatus::kDetected;
+      } else {
+        tried[i] = 0;  // re-arm as a primary target for another detection
+      }
+    }
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      result.patterns.patterns.push_back(std::move(buffer[i]));
+      result.care_bits_per_pattern.push_back(buffer_care_bits[i]);
+    }
+    buffer.clear();
+    buffer_care_bits.clear();
+  };
+
+  // Main loop: sweep the fault list, generating one pattern per remaining
+  // primary target; simulate in batches of 64 with dropping.
+  std::size_t cursor = 0;
+  std::size_t remaining_scan = faults.size();
+  while (remaining_scan > 0) {
+    // Find the next primary target.
+    std::size_t target = faults.size();
+    while (remaining_scan > 0) {
+      if (cursor == faults.size()) cursor = 0;
+      const std::size_t i = cursor++;
+      --remaining_scan;
+      if (targetable[i] && !tried[i] && st[i] == FaultStatus::kUndetected) {
+        target = i;
+        break;
+      }
+    }
+    if (target == faults.size()) break;
+    tried[target] = 1;
+
+    TestCube cube;
+    const PodemStatus ps = podem.generate(faults[target], cube);
+    if (ps == PodemStatus::kUntestable) {
+      st[target] = FaultStatus::kUntestable;
+      continue;
+    }
+    if (ps == PodemStatus::kAborted) {
+      st[target] = FaultStatus::kAborted;
+      continue;
+    }
+
+    // Dynamic compaction: try to pack nearby undetected targets in as well,
+    // under the per-block care-bit budget.
+    std::vector<std::size_t> block_flops(nl.block_count(), 0);
+    for (FlopId f = 0; f < nl.num_flops(); ++f) ++block_flops[nl.flop(f).block];
+    auto within_care_budget = [&](const TestCube& c) {
+      if (opt.max_block_care_fraction >= 1.0) return true;
+      std::vector<std::size_t> care(nl.block_count(), 0);
+      for (FlopId f = 0; f < nl.num_flops(); ++f) {
+        if (c.s1[f] != kBitX) ++care[nl.flop(f).block];
+      }
+      for (BlockId b = 0; b < nl.block_count(); ++b) {
+        if (block_flops[b] == 0) continue;
+        const double frac = static_cast<double>(care[b]) /
+                            static_cast<double>(block_flops[b]);
+        if (frac > opt.max_block_care_fraction) return false;
+      }
+      return true;
+    };
+    std::uint32_t merged = 0;
+    std::uint32_t scanned = 0;
+    for (std::size_t j = target + 1;
+         j < faults.size() && merged < opt.compaction_limit &&
+         scanned < opt.compaction_scan && within_care_budget(cube);
+         ++j) {
+      if (!targetable[j] || tried[j] || st[j] != FaultStatus::kUndetected) {
+        continue;
+      }
+      ++scanned;
+      TestCube merged_cube;
+      if (podem.extend(faults[j], merged_cube) == PodemStatus::kDetected) {
+        cube = std::move(merged_cube);
+        tried[j] = 1;
+        ++merged;
+      }
+    }
+
+    buffer_care_bits.push_back(cube.care_bits());
+    buffer.push_back(fill_cube(cube));
+    // Every targeted fault whose fill already covers it will drop at flush.
+    if (buffer.size() == 64) flush_buffer();
+
+    // After a flush the dropped faults free up the scan; rescan the list.
+    remaining_scan = faults.size();
+  }
+  flush_buffer();
+
+  // Partially-counted faults (detected at least once but short of n_detect
+  // when targets ran dry) still count as detected for coverage.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (st[i] != FaultStatus::kUntestable && detect_count[i] > 0) {
+      st[i] = FaultStatus::kDetected;
+    }
+  }
+  result.stats.total_faults = faults.size();
+  for (FaultStatus s : st) {
+    switch (s) {
+      case FaultStatus::kDetected:
+        ++result.stats.detected;
+        break;
+      case FaultStatus::kUntestable:
+        ++result.stats.untestable;
+        break;
+      case FaultStatus::kAborted:
+        ++result.stats.aborted;
+        break;
+      case FaultStatus::kUndetected:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace scap

@@ -1,0 +1,158 @@
+#include "atpg/fault_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cassert>
+
+namespace scap {
+
+FaultSimulator::FaultSimulator(const Netlist& nl, const TestContext& ctx)
+    : nl_(&nl), ctx_(&ctx), sim_(nl) {
+  faulty_.assign(nl.num_nets(), 0);
+  stamp_.assign(nl.num_nets(), 0);
+  obs_weight_.assign(nl.num_nets(), 0);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (ctx.active[f]) ++obs_weight_[nl.flop(f).d];
+  }
+  buckets_.resize(nl.max_level() + 1);
+  queued_.assign(nl.num_gates(), 0);
+}
+
+void FaultSimulator::load_batch(std::span<const Pattern> batch) {
+  assert(batch.size() <= 64);
+  const Netlist& nl = *nl_;
+  batch_size_ = batch.size();
+
+  // Pack all test variables (scan bits, plus LOS scan-in bits) per lane.
+  std::vector<std::uint64_t> vars(ctx_->num_vars(), 0);
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    const auto& bits = batch[p].s1;
+    assert(bits.size() == ctx_->num_vars());
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      vars[v] |= static_cast<std::uint64_t>(bits[v] & 1) << p;
+    }
+  }
+  s1_.assign(vars.begin(), vars.begin() + static_cast<std::ptrdiff_t>(nl.num_flops()));
+  pi_.assign(nl.primary_inputs().size(), 0);
+  for (std::size_t i = 0; i < pi_.size(); ++i) {
+    pi_[i] = ctx_->pi_values[i] ? ~0ull : 0ull;
+  }
+
+  sim_.eval_frame(s1_, pi_, f1_);
+  // Launch: LOC captures the functional response on active flops (held
+  // flops keep S1); LOS shifts every chain by one position.
+  s2_.resize(nl.num_flops());
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (ctx_->los()) {
+      s2_[f] = vars[ctx_->los_pred[f]];
+    } else {
+      s2_[f] = ctx_->active[f] ? f1_[nl.flop(f).d] : s1_[f];
+    }
+  }
+  sim_.eval_frame(s2_, pi_, g2_);
+}
+
+std::uint64_t FaultSimulator::detect_mask(const TdfFault& fault) {
+  const Netlist& nl = *nl_;
+  const NetId site = fault.net;
+
+  // Launch condition: frame1 holds v1, frame2 fault-free holds v2.
+  const std::uint64_t v1w = fault.v1() ? f1_[site] : ~f1_[site];
+  const std::uint64_t v2w = fault.v2() ? g2_[site] : ~g2_[site];
+  std::uint64_t launch = v1w & v2w;
+  if (batch_size_ < 64) launch &= (1ull << batch_size_) - 1;
+  if (launch == 0) return 0;
+
+  if (fault.site == FaultSite::kFlopBranch) {
+    // The late transition is sampled directly by the (active) load flop.
+    return ctx_->active[fault.load] ? launch : 0;
+  }
+
+  // Frame-2 cone propagation of the stuck-at-v1 perturbation.
+  ++epoch_;
+  const std::uint64_t stuck = fault.v1() ? ~0ull : 0ull;
+
+  auto faulty_value = [&](NetId n) -> std::uint64_t {
+    return stamp_[n] == epoch_ ? faulty_[n] : g2_[n];
+  };
+  std::uint32_t max_key = 0;
+  std::uint32_t min_key = static_cast<std::uint32_t>(buckets_.size());
+  auto enqueue = [&](GateId g) {
+    if (queued_[g]) return;
+    queued_[g] = 1;
+    const std::uint32_t lvl = nl.gate(g).level;
+    buckets_[lvl].push_back(g);
+    max_key = std::max(max_key, lvl);
+    min_key = std::min(min_key, lvl);
+  };
+
+  std::uint64_t detect = 0;
+  auto set_faulty = [&](NetId n, std::uint64_t v) {
+    // Perturb only launched lanes.
+    const std::uint64_t merged = (g2_[n] & ~launch) | (v & launch);
+    if (stamp_[n] == epoch_ && faulty_[n] == merged) return;
+    if (stamp_[n] != epoch_ && merged == g2_[n]) return;
+    stamp_[n] = epoch_;
+    faulty_[n] = merged;
+    const std::uint64_t diff = (merged ^ g2_[n]) & launch;
+    if (diff && obs_weight_[n] != 0) detect |= diff;
+    for (GateId g : nl.fanout_gates(n)) enqueue(g);
+  };
+
+  if (fault.site == FaultSite::kStem) {
+    set_faulty(site, stuck);
+  } else {
+    enqueue(fault.load);
+  }
+
+  std::array<std::uint64_t, 4> ins{};
+  for (std::uint32_t k = min_key; k <= max_key && k < buckets_.size(); ++k) {
+    auto& bucket = buckets_[k];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const GateId g = bucket[i];
+      queued_[g] = 0;
+      const auto in_nets = nl.gate_inputs(g);
+      for (std::size_t j = 0; j < in_nets.size(); ++j) {
+        std::uint64_t v = faulty_value(in_nets[j]);
+        if (fault.site == FaultSite::kGateBranch && fault.load == g &&
+            fault.pin == j) {
+          v = stuck;
+        }
+        ins[j] = v;
+      }
+      set_faulty(nl.gate(g).out,
+                 eval_word(nl.gate(g).type,
+                           std::span<const std::uint64_t>(ins.data(),
+                                                          in_nets.size())));
+    }
+    bucket.clear();
+    max_key = std::max(max_key, k);  // set_faulty may have raised it
+  }
+  return detect;
+}
+
+std::vector<std::size_t> FaultSimulator::grade(
+    std::span<const Pattern> patterns, std::span<const TdfFault> faults,
+    std::vector<std::size_t>* first_detects_per_pattern) {
+  std::vector<std::size_t> first(faults.size(), kUndetected);
+  if (first_detects_per_pattern) {
+    first_detects_per_pattern->assign(patterns.size(), 0);
+  }
+  for (std::size_t base = 0; base < patterns.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, patterns.size() - base);
+    load_batch(patterns.subspan(base, n));
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (first[fi] != kUndetected) continue;
+      const std::uint64_t mask = detect_mask(faults[fi]);
+      if (mask == 0) continue;
+      const std::size_t idx = base + static_cast<std::size_t>(
+                                         std::countr_zero(mask));
+      first[fi] = idx;
+      if (first_detects_per_pattern) ++(*first_detects_per_pattern)[idx];
+    }
+  }
+  return first;
+}
+
+}  // namespace scap

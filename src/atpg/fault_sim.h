@@ -1,0 +1,69 @@
+// Bit-parallel transition-fault simulation with fault dropping.
+//
+// Patterns are packed 64 to a word (bit i = pattern i). The fault-free
+// two-frame response is computed once per batch; each remaining fault is then
+// propagated through its frame-2 fanout cone only (single-fault, pattern-
+// parallel), comparing faulty against good values and stopping as soon as the
+// perturbation dies out. Detection requires the launch condition (frame-1
+// value v1, frame-2 fault-free value v2 at the site) and a captured
+// difference at an active-domain scan flop.
+//
+// This engine serves two masters: fault dropping inside the ATPG loop, and
+// standalone pattern grading (fault coverage of a given pattern set).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/context.h"
+#include "atpg/fault.h"
+#include "atpg/pattern.h"
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace scap {
+
+class FaultSimulator {
+ public:
+  FaultSimulator(const Netlist& nl, const TestContext& ctx);
+
+  /// Load a batch of up to 64 fully specified patterns and compute the
+  /// fault-free frames.
+  void load_batch(std::span<const Pattern> batch);
+
+  /// Detection mask for one fault over the loaded batch (bit i set = pattern
+  /// i detects it). Call load_batch first.
+  std::uint64_t detect_mask(const TdfFault& fault);
+
+  /// Convenience: simulate the whole pattern set against the fault list with
+  /// dropping. Returns, per fault, the index of the first detecting pattern
+  /// (or SIZE_MAX if undetected); optionally accumulates per-pattern counts
+  /// of first-detections (the coverage-curve increments).
+  static constexpr std::size_t kUndetected = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> grade(std::span<const Pattern> patterns,
+                                 std::span<const TdfFault> faults,
+                                 std::vector<std::size_t>* first_detects_per_pattern = nullptr);
+
+  std::size_t batch_size() const { return batch_size_; }
+
+ private:
+  const Netlist* nl_;
+  const TestContext* ctx_;
+  WordSim sim_;
+
+  std::size_t batch_size_ = 0;
+  std::vector<std::uint64_t> s1_, s2_, pi_;
+  std::vector<std::uint64_t> f1_, g2_;  ///< fault-free net words per frame
+
+  // Scratch for cone propagation (epoch-stamped faulty values).
+  std::vector<std::uint64_t> faulty_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> obs_weight_;  ///< active flop D loads per net
+  // Level-bucketed worklist.
+  std::vector<std::vector<GateId>> buckets_;
+  std::vector<std::uint8_t> queued_;
+};
+
+}  // namespace scap

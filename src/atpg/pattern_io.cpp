@@ -1,0 +1,115 @@
+#include "atpg/pattern_io.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scap {
+
+namespace {
+
+const char* scheme_name(LaunchScheme s) {
+  switch (s) {
+    case LaunchScheme::kLoc:
+      return "LOC";
+    case LaunchScheme::kLos:
+      return "LOS";
+    case LaunchScheme::kEnhanced:
+      return "ENHANCED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void write_patterns(const PatternSet& patterns, const TestContext& ctx,
+                    std::ostream& os) {
+  os << "// scapgen pattern set\n";
+  os << "Domain " << static_cast<int>(patterns.domain) << ";\n";
+  os << "Scheme " << scheme_name(ctx.scheme) << ";\n";
+  os << "Vars " << ctx.num_vars() << ";\n";
+  os << "Patterns " << patterns.size() << ";\n";
+  for (const Pattern& p : patterns.patterns) {
+    std::string line;
+    line.reserve(p.s1.size());
+    for (std::uint8_t b : p.s1) line.push_back(b ? '1' : '0');
+    os << line << '\n';
+  }
+}
+
+std::string to_pattern_text(const PatternSet& patterns,
+                            const TestContext& ctx) {
+  std::ostringstream os;
+  write_patterns(patterns, ctx, os);
+  return os.str();
+}
+
+PatternSet parse_patterns(std::string_view text, const TestContext& ctx) {
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) -> void {
+    throw std::runtime_error("pattern parse error (line " +
+                             std::to_string(lineno) + "): " + msg);
+  };
+
+  PatternSet out;
+  std::size_t expect_vars = 0, expect_patterns = 0;
+  bool body = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line.rfind("//", 0) == 0) continue;
+    if (!body) {
+      std::istringstream ls(line);
+      std::string key;
+      ls >> key;
+      if (key == "Domain") {
+        int d = -1;
+        ls >> d;
+        if (d < 0 || d > 255) fail("bad domain");
+        out.domain = static_cast<DomainId>(d);
+      } else if (key == "Scheme") {
+        std::string s;
+        ls >> s;
+        if (!s.empty() && s.back() == ';') s.pop_back();
+        if (s != scheme_name(ctx.scheme)) {
+          fail("scheme mismatch: file has " + s);
+        }
+      } else if (key == "Vars") {
+        ls >> expect_vars;
+        if (expect_vars != ctx.num_vars()) {
+          fail("variable count mismatch: file has " +
+               std::to_string(expect_vars) + ", context needs " +
+               std::to_string(ctx.num_vars()));
+        }
+      } else if (key == "Patterns") {
+        ls >> expect_patterns;
+        body = true;
+      } else {
+        fail("unknown header key '" + key + "'");
+      }
+      continue;
+    }
+    Pattern p;
+    p.s1.reserve(line.size());
+    for (char c : line) {
+      if (c == '0' || c == '1') {
+        p.s1.push_back(static_cast<std::uint8_t>(c - '0'));
+      } else if (c == '\r') {
+        continue;
+      } else {
+        fail(std::string("unexpected character '") + c + "'");
+      }
+    }
+    if (p.s1.size() != ctx.num_vars()) fail("wrong pattern width");
+    out.patterns.push_back(std::move(p));
+  }
+  if (out.patterns.size() != expect_patterns) {
+    ++lineno;
+    fail("expected " + std::to_string(expect_patterns) + " patterns, got " +
+         std::to_string(out.patterns.size()));
+  }
+  return out;
+}
+
+}  // namespace scap

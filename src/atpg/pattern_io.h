@@ -1,0 +1,28 @@
+// Pattern-set serialization (tester interchange).
+//
+// A STIL-flavoured plain-text format: a header records the domain, launch
+// scheme and variable count; each pattern is one line of '0'/'1' characters
+// in test-variable order (scan bits, then any launch variables). Stable,
+// diffable, and round-trippable -- the hand-off artifact between the ATPG
+// and a tester program, and the library's way to archive a signed-off set.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "atpg/context.h"
+#include "atpg/pattern.h"
+
+namespace scap {
+
+void write_patterns(const PatternSet& patterns, const TestContext& ctx,
+                    std::ostream& os);
+std::string to_pattern_text(const PatternSet& patterns, const TestContext& ctx);
+
+/// Parse a document produced by write_patterns. Validates the variable count
+/// against `ctx` and throws std::runtime_error (with a line number) on
+/// malformed input or mismatched geometry.
+PatternSet parse_patterns(std::string_view text, const TestContext& ctx);
+
+}  // namespace scap

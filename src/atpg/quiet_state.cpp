@@ -1,0 +1,74 @@
+#include "atpg/quiet_state.h"
+
+#include "sim/logic_sim.h"
+
+namespace scap {
+
+QuietState compute_quiet_state(const Netlist& nl, const TestContext& ctx,
+                               int max_iterations) {
+  LogicSim sim(nl);
+  std::vector<std::uint8_t> state(nl.num_flops(), 0);
+  std::vector<std::uint8_t> nets;
+  std::vector<std::uint8_t> next;
+
+  QuietState best;
+  best.s1 = state;
+  best.residual_launches = static_cast<std::size_t>(-1);
+
+  for (int it = 0; it < max_iterations; ++it) {
+    sim.eval_frame(state, ctx.pi_values, nets);
+    sim.next_state(nets, next);
+    // Held flops keep their value across the launch pulse.
+    std::size_t launches = 0;
+    for (FlopId f = 0; f < nl.num_flops(); ++f) {
+      if (!ctx.active[f]) {
+        next[f] = state[f];
+      } else if (next[f] != state[f]) {
+        ++launches;
+      }
+    }
+    if (launches < best.residual_launches) {
+      best.s1 = state;
+      best.residual_launches = launches;
+      if (launches == 0) break;  // true fixed point
+    }
+    state = next;
+  }
+
+  // Phase 2: greedy bit descent. Random logic rarely settles onto a fixed
+  // point by orbit iteration alone (attractor cycles), so refine the best
+  // iterate by flipping individual scan bits whenever that reduces the
+  // number of launch transitions.
+  auto count_launches = [&](const std::vector<std::uint8_t>& s) {
+    sim.eval_frame(s, ctx.pi_values, nets);
+    sim.next_state(nets, next);
+    std::size_t launches = 0;
+    for (FlopId f = 0; f < nl.num_flops(); ++f) {
+      if (ctx.active[f] && next[f] != s[f]) ++launches;
+    }
+    return launches;
+  };
+  state = best.s1;
+  std::size_t cur = count_launches(state);
+  for (int pass = 0; pass < 4 && cur > 0; ++pass) {
+    bool improved = false;
+    for (FlopId f = 0; f < nl.num_flops(); ++f) {
+      state[f] ^= 1;
+      const std::size_t trial = count_launches(state);
+      if (trial < cur) {
+        cur = trial;
+        improved = true;
+      } else {
+        state[f] ^= 1;
+      }
+    }
+    if (!improved) break;
+  }
+  if (cur < best.residual_launches) {
+    best.s1 = state;
+    best.residual_launches = cur;
+  }
+  return best;
+}
+
+}  // namespace scap

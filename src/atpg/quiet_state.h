@@ -1,0 +1,31 @@
+// Quiet-state computation for low-activity don't-care fill.
+//
+// Launch-off-capture launches transitions wherever S2 = F(S1) differs from
+// S1, so a block stays quiet only if its scanned state is (close to) a fixed
+// point of its next-state function. In the paper's SOC the all-zero state
+// idles quietly, which is why plain fill-0 works there; a generic design has
+// no such guarantee. compute_quiet_state() finds a near-fixed-point by
+// iterating the next-state function from the all-zero state (simulating the
+// design "running idle") and keeping the iterate with the fewest launch
+// transitions. FillMode::kQuiet fills don't-care scan cells from this state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atpg/context.h"
+#include "netlist/netlist.h"
+
+namespace scap {
+
+/// Per-flop quiet fill state, and the number of active-domain flops that
+/// would still toggle at launch if the whole design were scanned to it.
+struct QuietState {
+  std::vector<std::uint8_t> s1;
+  std::size_t residual_launches = 0;
+};
+
+QuietState compute_quiet_state(const Netlist& nl, const TestContext& ctx,
+                               int max_iterations = 24);
+
+}  // namespace scap

@@ -1,0 +1,63 @@
+#include "atpg/shift_power.h"
+
+#include <algorithm>
+
+namespace scap {
+
+ShiftPowerReport analyze_shift_power(
+    const Netlist& nl, const ScanChains& chains, const Parasitics& par,
+    const TechLibrary& lib, const Pattern& load,
+    std::span<const std::uint8_t> previous_state) {
+  ShiftPowerReport rep;
+  rep.shift_cycles = chains.max_chain_length();
+  if (rep.shift_cycles == 0) return rep;
+
+  // Current chain contents.
+  std::vector<std::uint8_t> state(nl.num_flops(), 0);
+  if (!previous_state.empty()) {
+    for (FlopId f = 0; f < nl.num_flops(); ++f) state[f] = previous_state[f];
+  }
+
+  std::vector<std::size_t> cycle_toggles(rep.shift_cycles, 0);
+  for (std::size_t t = 0; t < rep.shift_cycles; ++t) {
+    for (const auto& chain : chains.chains) {
+      const std::size_t len = chain.size();
+      if (len == 0 || t >= rep.shift_cycles) continue;
+      // Shift one position toward the tail; the stream bit entering at
+      // cycle t is the one destined for position len-1-t after all shifts.
+      // Chains shorter than the longest pad with idle (0) bits first.
+      const std::size_t lead = rep.shift_cycles - len;
+      std::uint8_t incoming = 0;
+      if (t >= lead) {
+        const std::size_t k = t - lead;  // k-th real stream bit
+        incoming = load.s1[chain[len - 1 - k]];
+      }
+      for (std::size_t i = len; i-- > 1;) {
+        const std::uint8_t nv = state[chain[i - 1]];
+        if (state[chain[i]] != nv) {
+          state[chain[i]] = nv;
+          ++cycle_toggles[t];
+          rep.weighted_energy_pj +=
+              lib.toggle_energy_pj(par.flop_load_pf(nl, chain[i]));
+        }
+      }
+      if (state[chain[0]] != incoming) {
+        state[chain[0]] = incoming;
+        ++cycle_toggles[t];
+        rep.weighted_energy_pj +=
+            lib.toggle_energy_pj(par.flop_load_pf(nl, chain[0]));
+      }
+    }
+  }
+
+  for (std::size_t c : cycle_toggles) {
+    rep.total_flop_toggles += c;
+    rep.peak_cycle_toggles = std::max(rep.peak_cycle_toggles, c);
+  }
+  rep.avg_toggles_per_cycle =
+      static_cast<double>(rep.total_flop_toggles) /
+      static_cast<double>(rep.shift_cycles);
+  return rep;
+}
+
+}  // namespace scap

@@ -1,0 +1,41 @@
+// Canonical experiment fixture shared by the benchmark binaries and the
+// examples: the scaled Turbo-Eagle-like SOC, its power grid, the dominant
+// clock-domain (clka) test context, the collapsed transition-fault list and
+// the statistical IR-drop analyses (Case1: full cycle, Case2: half cycle)
+// from which the SCAP thresholds derive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "atpg/context.h"
+#include "atpg/fault.h"
+#include "core/thresholds.h"
+#include "netlist/tech_library.h"
+#include "power/power_grid.h"
+#include "power/statistical.h"
+#include "soc/generator.h"
+
+namespace scap {
+
+struct Experiment {
+  SocDesign soc;
+  const TechLibrary* lib;
+  PowerGrid grid;
+  TestContext ctx;  ///< dominant domain (clka)
+  std::vector<TdfFault> all_faults;        ///< uncollapsed universe
+  std::vector<TdfFault> faults;            ///< collapsed ATPG list
+  StatisticalReport stat_case1;
+  StatisticalReport stat_case2;
+  ScapThresholds thresholds;
+
+  /// B5's index in the block arrays (the paper's hot block).
+  static constexpr std::size_t kHotBlock = 4;
+
+  /// Build the standard experiment at the given scale. scale=0.08 yields a
+  /// design that runs every bench in seconds; raise it to stress-test.
+  static Experiment standard(double scale = 0.08, std::uint64_t seed = 2007);
+};
+
+}  // namespace scap

@@ -1,0 +1,69 @@
+#include "core/pattern_sim.h"
+
+#include <algorithm>
+
+namespace scap {
+
+PatternAnalyzer::PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib)
+    : soc_(&soc),
+      lib_(&lib),
+      logic_(soc.netlist),
+      nominal_dm_(soc.netlist, lib, soc.parasitics),
+      scap_(soc.netlist, soc.parasitics, lib) {}
+
+PatternAnalysis PatternAnalyzer::analyze(
+    const TestContext& ctx, const Pattern& pattern,
+    const DelayModel* delay_model,
+    std::span<const double> clock_arrivals) const {
+  const Netlist& nl = soc_->netlist;
+  PatternAnalysis out;
+
+  // Frame 1: settled state after the (slow) scan load. The flop bits are
+  // the leading num_flops() entries of the test-variable vector.
+  std::span<const std::uint8_t> flop_bits(pattern.s1.data(), nl.num_flops());
+  logic_.eval_frame(flop_bits, ctx.pi_values, out.frame1_nets);
+
+  // Launch stimuli at each flop's clock arrival. LOC: active flops capture
+  // their functional D. LOS: the launch shift moves every chain by one.
+  std::vector<Stimulus> stimuli;
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    std::uint8_t s2;
+    if (ctx.los()) {
+      s2 = pattern.s1[ctx.los_pred[f]];
+    } else {
+      if (!ctx.active[f]) continue;
+      s2 = out.frame1_nets[nl.flop(f).d];
+    }
+    if (s2 == pattern.s1[f]) continue;
+    const double arrival = clock_arrivals.empty()
+                               ? soc_->clock_tree.nominal_arrival_ns(f)
+                               : clock_arrivals[f];
+    stimuli.push_back(Stimulus{nl.flop(f).q, arrival, s2});
+    ++out.launched_flops;
+  }
+
+  const DelayModel& dm = delay_model ? *delay_model : nominal_dm_;
+  EventSim sim(nl, dm);
+  out.trace = sim.run(out.frame1_nets, stimuli);
+  out.scap = scap_.compute(out.trace, soc_->config.tester_period_ns);
+  return out;
+}
+
+std::vector<double> PatternAnalyzer::endpoint_delays(
+    const SimTrace& trace, std::span<const double> clock_arrivals) const {
+  const Netlist& nl = soc_->netlist;
+  std::vector<double> settle =
+      EventSim::settle_times(trace, nl.num_nets());
+  std::vector<double> delays(nl.num_flops(), 0.0);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const double t = settle[nl.flop(f).d];
+    if (t <= 0.0) continue;  // non-active endpoint
+    const double arrival = clock_arrivals.empty()
+                               ? soc_->clock_tree.nominal_arrival_ns(f)
+                               : clock_arrivals[f];
+    delays[f] = std::max(0.0, t - arrival);
+  }
+  return delays;
+}
+
+}  // namespace scap

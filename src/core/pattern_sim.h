@@ -1,0 +1,58 @@
+// Per-pattern launch-to-capture analysis pipeline.
+//
+// Chains the engines exactly the way the paper's Figure 5 flow does:
+// scan state -> zero-delay frame-1 settle -> launch stimuli at per-flop clock
+// arrivals -> event-driven timing simulation -> toggle trace -> SCAP report.
+// Optionally the delay model and the clock arrivals are derated by a voltage
+// map (the Section 3.2 "simulation with IR-drop effects").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "atpg/context.h"
+#include "atpg/pattern.h"
+#include "netlist/tech_library.h"
+#include "sim/event_sim.h"
+#include "sim/logic_sim.h"
+#include "sim/scap.h"
+#include "soc/generator.h"
+
+namespace scap {
+
+struct PatternAnalysis {
+  SimTrace trace;
+  ScapReport scap;
+  std::vector<std::uint8_t> frame1_nets;  ///< settled pre-launch net values
+  std::size_t launched_flops = 0;         ///< flops that toggled at launch
+};
+
+class PatternAnalyzer {
+ public:
+  PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib);
+
+  /// Analyze one pattern. `delay_model` overrides the nominal model (pass a
+  /// droop-derated one for IR-aware simulation); `clock_arrivals` overrides
+  /// the nominal per-flop launch-clock arrivals.
+  PatternAnalysis analyze(const TestContext& ctx, const Pattern& pattern,
+                          const DelayModel* delay_model = nullptr,
+                          std::span<const double> clock_arrivals = {}) const;
+
+  /// Endpoint path delay per flop: last D-pin transition relative to the
+  /// flop's own clock arrival (the paper's Figure 7 measurement). Inactive
+  /// endpoints (no transition observed) report 0.
+  std::vector<double> endpoint_delays(const SimTrace& trace,
+                                      std::span<const double> clock_arrivals) const;
+
+  const DelayModel& nominal_delays() const { return nominal_dm_; }
+  const ScapCalculator& scap_calculator() const { return scap_; }
+
+ private:
+  const SocDesign* soc_;
+  const TechLibrary* lib_;
+  LogicSim logic_;
+  DelayModel nominal_dm_;
+  ScapCalculator scap_;
+};
+
+}  // namespace scap

@@ -1,0 +1,70 @@
+#include "core/test_schedule.h"
+
+#include <algorithm>
+
+namespace scap {
+
+double serial_time_us(std::span<const TestSession> sessions) {
+  double t = 0.0;
+  for (const TestSession& s : sessions) t += s.time_us;
+  return t;
+}
+
+TestSchedule schedule_tests(std::span<const TestSession> sessions,
+                            double power_budget_mw) {
+  TestSchedule out;
+
+  // Pending sessions, longest first (LPT-style greedy).
+  std::vector<std::size_t> pending(sessions.size());
+  for (std::size_t i = 0; i < pending.size(); ++i) pending[i] = i;
+  std::sort(pending.begin(), pending.end(), [&](std::size_t a, std::size_t b) {
+    return sessions[a].time_us > sessions[b].time_us;
+  });
+
+  struct Running {
+    std::size_t session;
+    double end_us;
+  };
+  std::vector<Running> running;
+  double now = 0.0;
+  double used_mw = 0.0;
+
+  auto try_start = [&]() {
+    for (auto it = pending.begin(); it != pending.end();) {
+      const TestSession& s = sessions[*it];
+      const bool oversized = s.power_mw > power_budget_mw;
+      if (oversized && !running.empty()) {
+        // An over-budget session can only run alone.
+        ++it;
+        continue;
+      }
+      if (!oversized && used_mw + s.power_mw > power_budget_mw) {
+        ++it;
+        continue;
+      }
+      out.budget_exceeded |= oversized;
+      out.items.push_back(ScheduledSession{*it, now});
+      running.push_back(Running{*it, now + s.time_us});
+      used_mw += s.power_mw;
+      out.peak_power_mw = std::max(out.peak_power_mw, used_mw);
+      it = pending.erase(it);
+      if (oversized) break;  // nothing may join it
+    }
+  };
+
+  try_start();
+  while (!running.empty()) {
+    // Advance to the earliest completion.
+    auto next = std::min_element(
+        running.begin(), running.end(),
+        [](const Running& a, const Running& b) { return a.end_us < b.end_us; });
+    now = next->end_us;
+    used_mw -= sessions[next->session].power_mw;
+    running.erase(next);
+    out.makespan_us = std::max(out.makespan_us, now);
+    try_start();
+  }
+  return out;
+}
+
+}  // namespace scap

@@ -1,0 +1,42 @@
+// Power-constrained SOC test scheduling (the paper's Section 1 context,
+// refs [5][6]): test sessions -- one per clock domain here -- can run in
+// parallel to cut test time, but their combined power must stay under the
+// chip's functional power threshold or the supply noise invalidates the
+// test. schedule_tests() is the classic greedy list scheduler for that
+// rectangle-packing problem: at every completion instant, start the
+// longest remaining session that still fits the power budget.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scap {
+
+struct TestSession {
+  std::string name;
+  double time_us = 0.0;   ///< tester time to apply the session's patterns
+  double power_mw = 0.0;  ///< session power demand (SCAP-based)
+};
+
+struct ScheduledSession {
+  std::size_t session = 0;  ///< index into the input span
+  double start_us = 0.0;
+};
+
+struct TestSchedule {
+  std::vector<ScheduledSession> items;  ///< in start order
+  double makespan_us = 0.0;
+  double peak_power_mw = 0.0;
+  /// True if some single session exceeds the budget by itself (it is then
+  /// scheduled alone, back-to-back with nothing).
+  bool budget_exceeded = false;
+};
+
+TestSchedule schedule_tests(std::span<const TestSession> sessions,
+                            double power_budget_mw);
+
+/// Sum of all session times (the fully serial baseline).
+double serial_time_us(std::span<const TestSession> sessions);
+
+}  // namespace scap

@@ -1,0 +1,46 @@
+// Block-level SCAP thresholds (paper Sections 2.2 and 2.4).
+//
+// The Case2 (half-cycle window) statistical analysis yields, per block, the
+// average switching power the rail network was provisioned to deliver during
+// a realistic switching window. A test pattern whose per-block SCAP exceeds
+// that threshold is an IR-drop risk (the paper's Figure 2/6 screening).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "power/statistical.h"
+#include "sim/scap.h"
+
+namespace scap {
+
+struct ScapThresholds {
+  /// Per-block allowed SCAP [mW] (both-rail switching power).
+  std::vector<double> block_mw;
+
+  static ScapThresholds from_statistical(const StatisticalReport& case2) {
+    return ScapThresholds{case2.block_power_mw};
+  }
+
+  /// Does this pattern's SCAP exceed the threshold in the given block?
+  /// Compares total (VDD+VSS) block switching power over the STW.
+  bool violates(const ScapReport& rep, std::size_t block) const {
+    return block_scap_mw(rep, block) > block_mw[block];
+  }
+
+  static double block_scap_mw(const ScapReport& rep, std::size_t block) {
+    return rep.block_scap_mw(Rail::kVdd, block) +
+           rep.block_scap_mw(Rail::kVss, block);
+  }
+
+  /// Number of patterns violating the threshold in `block`.
+  std::size_t count_violations(std::span<const ScapReport> reports,
+                               std::size_t block) const {
+    std::size_t n = 0;
+    for (const ScapReport& r : reports) n += violates(r, block) ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace scap

@@ -1,0 +1,133 @@
+#include "core/validation.h"
+
+#include "atpg/fault_sim.h"
+
+namespace scap {
+
+std::vector<ScapReport> scap_profile(const SocDesign& soc,
+                                     const TechLibrary& lib,
+                                     const TestContext& ctx,
+                                     const PatternSet& patterns) {
+  PatternAnalyzer analyzer(soc, lib);
+  std::vector<ScapReport> out;
+  out.reserve(patterns.size());
+  for (const Pattern& p : patterns.patterns) {
+    out.push_back(analyzer.analyze(ctx, p).scap);
+  }
+  return out;
+}
+
+IrValidationResult validate_pattern_ir(const SocDesign& soc,
+                                       const TechLibrary& lib,
+                                       const PowerGrid& grid,
+                                       const TestContext& ctx,
+                                       const Pattern& pattern) {
+  IrValidationResult out;
+  PatternAnalyzer analyzer(soc, lib);
+
+  // Simulation 1: nominal timing; its trace feeds the rail analysis (the
+  // paper's VCD -> SOC Encounter step).
+  out.nominal = analyzer.analyze(ctx, pattern);
+  out.ir = analyze_pattern_ir(soc.netlist, soc.placement, soc.parasitics, lib,
+                              soc.floorplan, grid, out.nominal.trace,
+                              &soc.clock_tree, ctx.domain);
+
+  // Simulation 2: cell and clock-buffer delays derated by the local droop.
+  DelayModel scaled_dm = analyzer.nominal_delays();
+  scaled_dm.set_droop(lib, out.ir.gate_droop_v);
+  out.nominal_arrival_ns.resize(soc.netlist.num_flops());
+  for (FlopId f = 0; f < soc.netlist.num_flops(); ++f) {
+    out.nominal_arrival_ns[f] = soc.clock_tree.nominal_arrival_ns(f);
+  }
+  out.scaled_arrival_ns = soc.clock_tree.arrivals_with_droop(
+      lib, [&](Point p) { return out.ir.droop_at(p); });
+
+  out.scaled = analyzer.analyze(ctx, pattern, &scaled_dm, out.scaled_arrival_ns);
+
+  out.nominal_endpoint_ns =
+      analyzer.endpoint_delays(out.nominal.trace, out.nominal_arrival_ns);
+  out.scaled_endpoint_ns =
+      analyzer.endpoint_delays(out.scaled.trace, out.scaled_arrival_ns);
+  return out;
+}
+
+RepairResult repair_scap_violations(const SocDesign& soc,
+                                    const TechLibrary& lib,
+                                    const TestContext& ctx,
+                                    std::span<const TdfFault> faults,
+                                    const PatternSet& patterns,
+                                    const ScapThresholds& thresholds,
+                                    std::size_t hot_block, AtpgOptions opt,
+                                    std::size_t max_rounds) {
+  RepairResult out;
+  out.patterns.domain = patterns.domain;
+  out.patterns_before = patterns.size();
+
+  PatternAnalyzer analyzer(soc, lib);
+  FaultSimulator fsim(soc.netlist, ctx);
+  {
+    const auto before = fsim.grade(patterns.patterns, faults, nullptr);
+    for (auto idx : before) {
+      out.detected_before += (idx != FaultSimulator::kUndetected);
+    }
+  }
+
+  // Keep only the clean patterns.
+  std::vector<Pattern> kept;
+  for (const Pattern& p : patterns.patterns) {
+    const ScapReport rep = analyzer.analyze(ctx, p).scap;
+    if (thresholds.violates(rep, hot_block)) {
+      ++out.violations_before;
+    } else {
+      kept.push_back(p);
+    }
+  }
+
+  AtpgEngine engine(soc.netlist, ctx);
+  double care_budget = std::min(opt.max_block_care_fraction, 0.08);
+  for (out.rounds = 0; out.rounds < max_rounds; ++out.rounds) {
+    // Coverage holes left by the dropped / not-yet-generated patterns.
+    std::vector<FaultStatus> status(faults.size(), FaultStatus::kUndetected);
+    const auto first = fsim.grade(kept, faults, nullptr);
+    std::size_t missing = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (first[i] != FaultSimulator::kUndetected) {
+        status[i] = FaultStatus::kDetected;
+      } else {
+        ++missing;
+      }
+    }
+    if (missing == 0) break;
+
+    AtpgOptions round_opt = opt;
+    round_opt.fill = FillMode::kQuiet;
+    round_opt.max_block_care_fraction = care_budget;
+    round_opt.seed = opt.seed + out.rounds + 1;
+    const AtpgResult res = engine.run(faults, round_opt, &status);
+
+    bool any_clean = false;
+    for (const Pattern& p : res.patterns.patterns) {
+      const ScapReport rep = analyzer.analyze(ctx, p).scap;
+      if (!thresholds.violates(rep, hot_block)) {
+        kept.push_back(p);
+        any_clean = true;
+      }
+    }
+    care_budget *= 0.5;  // tighten for the next round
+    if (!any_clean) break;
+  }
+
+  out.patterns.patterns = std::move(kept);
+  out.patterns_after = out.patterns.patterns.size();
+  const auto after = fsim.grade(out.patterns.patterns, faults, nullptr);
+  for (auto idx : after) {
+    out.detected_after += (idx != FaultSimulator::kUndetected);
+  }
+  for (const Pattern& p : out.patterns.patterns) {
+    const ScapReport rep = analyzer.analyze(ctx, p).scap;
+    out.violations_after += thresholds.violates(rep, hot_block) ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace scap

@@ -1,0 +1,54 @@
+#include "layout/floorplan.h"
+
+namespace scap {
+
+Floorplan Floorplan::turbo_eagle_like(double die_um, std::size_t pads_per_rail) {
+  const double d = die_um;
+  const Rect die{0.0, 0.0, d, d};
+
+  // Fractions of the die edge. B5 occupies the large central region; the
+  // other five blocks hug the periphery (small, well-fed by nearby pads).
+  std::vector<BlockInfo> blocks = {
+      {"B1", Rect{0.04 * d, 0.70 * d, 0.30 * d, 0.96 * d}},  // top-left
+      {"B2", Rect{0.70 * d, 0.70 * d, 0.96 * d, 0.96 * d}},  // top-right
+      {"B3", Rect{0.04 * d, 0.04 * d, 0.30 * d, 0.30 * d}},  // bottom-left
+      {"B4", Rect{0.70 * d, 0.04 * d, 0.96 * d, 0.30 * d}},  // bottom-right
+      {"B5", Rect{0.32 * d, 0.32 * d, 0.68 * d, 0.76 * d}},  // central, large
+      {"B6", Rect{0.04 * d, 0.36 * d, 0.28 * d, 0.64 * d}},  // left-middle
+  };
+
+  // Pads uniformly around the periphery, alternating VDD/VSS positions per
+  // rail so both networks see the same geometry.
+  std::vector<PowerPad> pads;
+  pads.reserve(2 * pads_per_rail);
+  const double perimeter = 4.0 * d;
+  auto point_on_ring = [&](double s) -> Point {
+    // s in [0, perimeter), walking counter-clockwise from the origin.
+    if (s < d) return {s, 0.0};
+    s -= d;
+    if (s < d) return {d, s};
+    s -= d;
+    if (s < d) return {d - s, d};
+    s -= d;
+    return {0.0, d - s};
+  };
+  for (std::size_t i = 0; i < pads_per_rail; ++i) {
+    const double base =
+        perimeter * static_cast<double>(i) / static_cast<double>(pads_per_rail);
+    const double half_step =
+        perimeter / static_cast<double>(2 * pads_per_rail);
+    pads.push_back(PowerPad{point_on_ring(base), /*is_vdd=*/true});
+    pads.push_back(PowerPad{point_on_ring(base + half_step), /*is_vdd=*/false});
+  }
+
+  return Floorplan(die, std::move(blocks), std::move(pads));
+}
+
+std::size_t Floorplan::block_at(Point p) const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].rect.contains(p)) return i;
+  }
+  return blocks_.size();
+}
+
+}  // namespace scap

@@ -1,0 +1,54 @@
+// Chip floorplan: die outline, block rectangles, and power/ground pads.
+//
+// The default floorplan mimics Figure 1 of the paper: six blocks B1..B6 with
+// B5 large and central (far from the pad ring -> highest IR-drop under load)
+// and the remaining blocks small and peripheral (close to pads -> resilient
+// even when the switching window shrinks). 37 VDD and 37 VSS pads sit
+// uniformly on the die periphery, as in the Turbo-Eagle design.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace scap {
+
+struct BlockInfo {
+  std::string name;  ///< "B1".."B6"
+  Rect rect;
+};
+
+struct PowerPad {
+  Point pos;
+  bool is_vdd = true;  ///< false: VSS pad
+};
+
+class Floorplan {
+ public:
+  Floorplan(Rect die, std::vector<BlockInfo> blocks, std::vector<PowerPad> pads)
+      : die_(die), blocks_(std::move(blocks)), pads_(std::move(pads)) {}
+
+  /// Six-block floorplan modelled on the paper's Figure 1.
+  /// die_um: die edge length; pads_per_rail: pads per VDD/VSS network (37).
+  static Floorplan turbo_eagle_like(double die_um = 3000.0,
+                                    std::size_t pads_per_rail = 37);
+
+  const Rect& die() const { return die_; }
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+  const std::vector<PowerPad>& pads() const { return pads_; }
+
+  const BlockInfo& block(std::size_t idx) const { return blocks_[idx]; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+  /// Index of the block containing p, or block_count() if outside all blocks.
+  std::size_t block_at(Point p) const;
+
+ private:
+  Rect die_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<PowerPad> pads_;
+};
+
+}  // namespace scap

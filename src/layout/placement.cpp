@@ -1,0 +1,77 @@
+#include "layout/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scap {
+
+Placement Placement::place(const Netlist& nl, const Floorplan& fp, Rng& rng) {
+  Placement pl;
+  pl.flop_pos_.resize(nl.num_flops());
+  pl.gate_pos_.resize(nl.num_gates());
+
+  // PI pads spread along the bottom edge of the die.
+  const Rect die = fp.die();
+  pl.pi_pos_.resize(nl.primary_inputs().size());
+  for (std::size_t i = 0; i < pl.pi_pos_.size(); ++i) {
+    const double frac = (static_cast<double>(i) + 0.5) /
+                        static_cast<double>(std::max<std::size_t>(1, pl.pi_pos_.size()));
+    pl.pi_pos_[i] = Point{die.x0 + frac * die.width(), die.y0};
+  }
+
+  auto block_rect = [&](BlockId b) -> Rect {
+    return b < fp.block_count() ? fp.block(b).rect : die;
+  };
+
+  // Flops: jittered uniform spread inside their block.
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const Rect r = block_rect(nl.flop(f).block);
+    pl.flop_pos_[f] = Point{rng.uniform(r.x0, r.x1), rng.uniform(r.y0, r.y1)};
+  }
+
+  // Gates: first drop uniformly in their block, then pull toward connected
+  // pins (one relaxation sweep in topological order keeps cones compact).
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Rect r = block_rect(nl.gate(g).block);
+    pl.gate_pos_[g] = Point{rng.uniform(r.x0, r.x1), rng.uniform(r.y0, r.y1)};
+  }
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (GateId g : nl.topo_order()) {
+      Point sum{0.0, 0.0};
+      int n = 0;
+      for (NetId in : nl.gate_inputs(g)) {
+        sum = sum + pl.net_driver_pos(nl, in);
+        ++n;
+      }
+      for (FlopId f : nl.fanout_flops(nl.gate(g).out)) {
+        sum = sum + pl.flop_pos_[f];
+        ++n;
+      }
+      if (n == 0) continue;
+      const Point centroid = sum * (1.0 / n);
+      const Rect r = block_rect(nl.gate(g).block);
+      // Blend toward the centroid but stay inside the block.
+      const Point blended{0.4 * pl.gate_pos_[g].x + 0.6 * centroid.x,
+                          0.4 * pl.gate_pos_[g].y + 0.6 * centroid.y};
+      pl.gate_pos_[g] = r.clamp(blended);
+    }
+  }
+  return pl;
+}
+
+Point Placement::net_driver_pos(const Netlist& nl, NetId n) const {
+  const Net& nr = nl.net(n);
+  switch (nr.driver_kind) {
+    case DriverKind::kGate:
+      return gate_pos_[nr.driver];
+    case DriverKind::kFlop:
+      return flop_pos_[nr.driver];
+    case DriverKind::kInput:
+      return pi_pos_[nr.driver];
+    case DriverKind::kNone:
+      break;
+  }
+  return Point{};
+}
+
+}  // namespace scap

@@ -1,0 +1,38 @@
+// Per-instance placement.
+//
+// The power analyses only require spatial locality (instances of a block sit
+// inside that block's rectangle; connected cells are near each other), not a
+// legal row-based placement. We place flops on a jittered grid inside their
+// block and attract each combinational gate toward the centroid of its flop
+// fan-in/fan-out cone, which is what clustering-driven placers produce at the
+// granularity the resistive power grid can resolve.
+#pragma once
+
+#include <vector>
+
+#include "layout/floorplan.h"
+#include "netlist/netlist.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace scap {
+
+class Placement {
+ public:
+  static Placement place(const Netlist& nl, const Floorplan& fp, Rng& rng);
+
+  Point gate_pos(GateId g) const { return gate_pos_[g]; }
+  Point flop_pos(FlopId f) const { return flop_pos_[f]; }
+  std::size_t num_gates() const { return gate_pos_.size(); }
+  std::size_t num_flops() const { return flop_pos_.size(); }
+
+  /// Position of the driver of a net (gate, flop or PI pad location).
+  Point net_driver_pos(const Netlist& nl, NetId n) const;
+
+ private:
+  std::vector<Point> gate_pos_;
+  std::vector<Point> flop_pos_;
+  std::vector<Point> pi_pos_;  ///< PI pad locations on the die edge
+};
+
+}  // namespace scap

@@ -1,0 +1,56 @@
+#include "layout/spef.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace scap {
+
+void write_spef(const Netlist& nl, const Parasitics& par, std::ostream& os,
+                const std::string& design_name) {
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << design_name << "\"\n";
+  os << "*VENDOR \"scapgen\"\n";
+  os << "*PROGRAM \"scapgen spef writer\"\n";
+  os << "*DIVIDER /\n*DELIMITER :\n*BUS_DELIMITER [ ]\n";
+  os << "*T_UNIT 1 NS\n*C_UNIT 1 PF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    os << "*D_NET " << nl.net_name(n) << ' ' << par.net_load_pf(n) << '\n';
+    os << "*CONN\n";
+    const Net& nr = nl.net(n);
+    switch (nr.driver_kind) {
+      case DriverKind::kGate:
+        os << "*I b" << nl.gate(nr.driver).block << "_g" << nr.driver
+           << ":Y O\n";
+        break;
+      case DriverKind::kFlop:
+        os << "*I b" << nl.flop(nr.driver).block << "_f" << nr.driver
+           << ":Q O\n";
+        break;
+      case DriverKind::kInput:
+        os << "*P " << nl.net_name(n) << " I\n";
+        break;
+      case DriverKind::kNone:
+        break;
+    }
+    for (GateId g : nl.fanout_gates(n)) {
+      os << "*I b" << nl.gate(g).block << "_g" << g << ":A I\n";
+    }
+    for (FlopId f : nl.fanout_flops(n)) {
+      os << "*I b" << nl.flop(f).block << "_f" << f << ":D I\n";
+    }
+    os << "*CAP\n1 " << nl.net_name(n) << ' ' << par.net_load_pf(n) << '\n';
+    os << "*END\n\n";
+  }
+}
+
+std::string to_spef(const Netlist& nl, const Parasitics& par,
+                    const std::string& design_name) {
+  std::ostringstream os;
+  write_spef(nl, par, os, design_name);
+  return os.str();
+}
+
+}  // namespace scap

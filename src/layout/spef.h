@@ -1,0 +1,24 @@
+// Standard Parasitic Exchange Format (SPEF) export.
+//
+// The paper extracts net parasitics with STAR-RCXT and feeds them to both
+// the SCAP calculator (per-instance output capacitance) and the rail
+// analysis. This writer emits the library's extracted loads in SPEF so the
+// same data can round into external flows: one *D_NET per net with its
+// total capacitance and a lumped driver-to-sinks description.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/parasitics.h"
+#include "netlist/netlist.h"
+
+namespace scap {
+
+void write_spef(const Netlist& nl, const Parasitics& par, std::ostream& os,
+                const std::string& design_name = "top");
+
+std::string to_spef(const Netlist& nl, const Parasitics& par,
+                    const std::string& design_name = "top");
+
+}  // namespace scap

@@ -1,0 +1,182 @@
+// Standard-cell primitive types and their evaluation functions.
+//
+// The library models a small 180 nm-class standard-cell kit (the paper uses
+// the Cadence GSCLib 0.18 um library): basic combinational cells of 1-4
+// inputs, a 2:1 mux, a scan D flip-flop, clock buffers and tie cells.
+// Evaluation is provided in three domains used by different engines:
+//   - scalar 0/1            (event-driven timing simulation)
+//   - 64-bit pattern-parallel words (fault simulation)
+//   - 3-valued "possible set" logic (PODEM implication)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace scap {
+
+enum class CellType : std::uint8_t {
+  kTie0,
+  kTie1,
+  kBuf,
+  kInv,
+  kAnd2,
+  kAnd3,
+  kAnd4,
+  kNand2,
+  kNand3,
+  kNand4,
+  kOr2,
+  kOr3,
+  kOr4,
+  kNor2,
+  kNor3,
+  kNor4,
+  kXor2,
+  kXnor2,
+  kMux2,  // inputs: [S, A, B]; output = S ? B : A
+  kDff,   // sequential; not evaluated combinationally
+  kClkBuf,
+};
+
+inline constexpr std::size_t kNumCellTypes =
+    static_cast<std::size_t>(CellType::kClkBuf) + 1;
+
+/// Number of logic inputs a cell of this type requires.
+constexpr int num_inputs(CellType t) {
+  switch (t) {
+    case CellType::kTie0:
+    case CellType::kTie1:
+      return 0;
+    case CellType::kBuf:
+    case CellType::kInv:
+    case CellType::kClkBuf:
+      return 1;
+    case CellType::kAnd2:
+    case CellType::kNand2:
+    case CellType::kOr2:
+    case CellType::kNor2:
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return 2;
+    case CellType::kAnd3:
+    case CellType::kNand3:
+    case CellType::kOr3:
+    case CellType::kNor3:
+    case CellType::kMux2:
+      return 3;
+    case CellType::kAnd4:
+    case CellType::kNand4:
+    case CellType::kOr4:
+    case CellType::kNor4:
+      return 4;
+    case CellType::kDff:
+      return 1;  // D pin; clock is tracked separately
+  }
+  return 0;
+}
+
+constexpr bool is_combinational(CellType t) {
+  return t != CellType::kDff && t != CellType::kClkBuf;
+}
+
+/// AND-like / OR-like classification used by PODEM backtrace.
+enum class GateClass : std::uint8_t { kAndLike, kOrLike, kXorLike, kMux, kBufLike, kTie };
+
+constexpr GateClass gate_class(CellType t) {
+  switch (t) {
+    case CellType::kAnd2:
+    case CellType::kAnd3:
+    case CellType::kAnd4:
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4:
+      return GateClass::kAndLike;
+    case CellType::kOr2:
+    case CellType::kOr3:
+    case CellType::kOr4:
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4:
+      return GateClass::kOrLike;
+    case CellType::kXor2:
+    case CellType::kXnor2:
+      return GateClass::kXorLike;
+    case CellType::kMux2:
+      return GateClass::kMux;
+    case CellType::kTie0:
+    case CellType::kTie1:
+      return GateClass::kTie;
+    default:
+      return GateClass::kBufLike;
+  }
+}
+
+/// True if the cell output inverts its defining function (NAND/NOR/XNOR/INV).
+constexpr bool is_inverting(CellType t) {
+  switch (t) {
+    case CellType::kInv:
+    case CellType::kNand2:
+    case CellType::kNand3:
+    case CellType::kNand4:
+    case CellType::kNor2:
+    case CellType::kNor3:
+    case CellType::kNor4:
+    case CellType::kXnor2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Controlling input value for AND-like (0) / OR-like (1) gates; -1 otherwise.
+constexpr int controlling_value(CellType t) {
+  switch (gate_class(t)) {
+    case GateClass::kAndLike:
+      return 0;
+    case GateClass::kOrLike:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+/// Scalar evaluation; inputs are 0 or 1.
+std::uint8_t eval_scalar(CellType t, std::span<const std::uint8_t> ins);
+
+/// 64-bit pattern-parallel evaluation (bit i of each word = pattern i).
+std::uint64_t eval_word(CellType t, std::span<const std::uint64_t> ins);
+
+/// 3-valued logic in "possible set" encoding:
+/// bit0 set => value can be 0; bit1 set => value can be 1.
+/// 0b01 = constant 0, 0b10 = constant 1, 0b11 = X. 0b00 is invalid.
+struct V3 {
+  std::uint8_t bits = 0b11;
+
+  static constexpr V3 zero() { return V3{0b01}; }
+  static constexpr V3 one() { return V3{0b10}; }
+  static constexpr V3 x() { return V3{0b11}; }
+  static constexpr V3 of(int v) { return v ? one() : zero(); }
+
+  constexpr bool is_x() const { return bits == 0b11; }
+  constexpr bool is0() const { return bits == 0b01; }
+  constexpr bool is1() const { return bits == 0b10; }
+  /// Known (non-X) value as 0/1; only valid when !is_x().
+  constexpr int value() const { return bits == 0b10 ? 1 : 0; }
+
+  friend constexpr bool operator==(V3, V3) = default;
+};
+
+constexpr V3 v3_not(V3 a) {
+  return V3{static_cast<std::uint8_t>(((a.bits & 1) << 1) | ((a.bits >> 1) & 1))};
+}
+
+V3 eval_v3(CellType t, std::span<const V3> ins);
+
+/// Canonical cell name (matches the Verilog writer/parser vocabulary).
+std::string_view cell_name(CellType t);
+
+/// Inverse of cell_name; returns false if the name is unknown.
+bool cell_from_name(std::string_view name, CellType& out);
+
+}  // namespace scap

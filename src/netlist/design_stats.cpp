@@ -1,0 +1,54 @@
+#include "netlist/design_stats.h"
+
+#include <sstream>
+
+namespace scap {
+
+DesignStats compute_design_stats(const Netlist& nl) {
+  DesignStats s;
+  s.num_gates = nl.num_gates();
+  s.num_nets = nl.num_nets();
+  s.num_flops = nl.num_flops();
+  s.num_primary_inputs = nl.primary_inputs().size();
+  s.num_primary_outputs = nl.primary_outputs().size();
+  s.num_clock_domains = nl.domain_count();
+  s.num_blocks = nl.block_count();
+  s.max_logic_level = nl.max_level();
+  s.gates_by_type.assign(kNumCellTypes, 0);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    ++s.gates_by_type[static_cast<std::size_t>(nl.gate(g).type)];
+  }
+  s.flops_by_domain.assign(nl.domain_count(), 0);
+  s.flops_by_block.assign(nl.block_count(), 0);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const Flop& fr = nl.flop(f);
+    ++s.flops_by_domain[fr.domain];
+    ++s.flops_by_block[fr.block];
+    if (fr.neg_edge) ++s.num_neg_edge_flops;
+  }
+  s.gates_by_block = nl.gates_per_block();
+  return s;
+}
+
+std::string format_design_stats(const DesignStats& s) {
+  std::ostringstream os;
+  os << "gates: " << s.num_gates << "  nets: " << s.num_nets
+     << "  flops: " << s.num_flops << " (" << s.num_neg_edge_flops
+     << " neg-edge)\n";
+  os << "PIs: " << s.num_primary_inputs << "  POs: " << s.num_primary_outputs
+     << "  clock domains: " << s.num_clock_domains
+     << "  blocks: " << s.num_blocks
+     << "  max logic level: " << s.max_logic_level << "\n";
+  os << "flops by domain:";
+  for (std::size_t d = 0; d < s.flops_by_domain.size(); ++d) {
+    os << " clk" << static_cast<char>('a' + d) << "=" << s.flops_by_domain[d];
+  }
+  os << "\nflops by block:";
+  for (std::size_t b = 0; b < s.flops_by_block.size(); ++b) {
+    os << " B" << (b + 1) << "=" << s.flops_by_block[b];
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace scap

@@ -1,0 +1,34 @@
+// Design characteristics reporting (the raw material of the paper's Table 1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace scap {
+
+struct DesignStats {
+  std::size_t num_gates = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_flops = 0;
+  std::size_t num_neg_edge_flops = 0;
+  std::size_t num_primary_inputs = 0;
+  std::size_t num_primary_outputs = 0;
+  std::size_t num_clock_domains = 0;
+  std::size_t num_blocks = 0;
+  std::uint32_t max_logic_level = 0;
+  std::vector<std::size_t> gates_by_type;   ///< indexed by CellType
+  std::vector<std::size_t> flops_by_domain;
+  std::vector<std::size_t> flops_by_block;
+  std::vector<std::size_t> gates_by_block;
+};
+
+DesignStats compute_design_stats(const Netlist& nl);
+
+/// Human-readable multi-line summary.
+std::string format_design_stats(const DesignStats& s);
+
+}  // namespace scap

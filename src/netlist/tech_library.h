@@ -1,0 +1,73 @@
+// Technology library: per-cell timing and capacitance data plus the global
+// electrical constants the paper's experiments depend on (VDD = 1.8 V,
+// k_volt = 0.9 delay-derating slope, 10% IR-drop alarm threshold).
+//
+// The delay model is the usual linear one:
+//   delay = intrinsic + drive_resistance * load_capacitance
+// with separate rise/fall intrinsics. Under IR-drop the delay is scaled by
+// (1 + k_volt * dV), the formulation in Section 3.2 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "netlist/cell_type.h"
+
+namespace scap {
+
+struct CellTiming {
+  double intrinsic_rise_ns = 0.0;  ///< zero-load rise delay [ns]
+  double intrinsic_fall_ns = 0.0;  ///< zero-load fall delay [ns]
+  double drive_res_ns_per_pf = 0.0;  ///< load-dependent slope [ns/pF]
+  double input_cap_pf = 0.0;         ///< capacitance of each input pin [pF]
+  double self_cap_pf = 0.0;          ///< output-node self (diffusion) cap [pF]
+  double leakage_mw = 0.0;           ///< static leakage [mW] (reporting only)
+};
+
+class TechLibrary {
+ public:
+  /// The default 180 nm-class library used by all experiments.
+  static const TechLibrary& generic180();
+
+  const CellTiming& timing(CellType t) const {
+    return cells_[static_cast<std::size_t>(t)];
+  }
+
+  double vdd() const { return vdd_; }
+  /// Delay-derating slope: 5% voltage loss -> +4.5% delay at k_volt = 0.9.
+  double k_volt() const { return k_volt_; }
+  /// IR-drop alarm level (fraction of VDD); the paper flags >10% VDD regions.
+  double ir_alarm_fraction() const { return ir_alarm_fraction_; }
+
+  /// Gate delay [ns] for the given output edge and load, derated by the
+  /// local voltage droop dV (VDD drop + VSS bounce seen by the instance).
+  double gate_delay_ns(CellType t, bool rising, double load_pf,
+                       double droop_v = 0.0) const {
+    const CellTiming& ct = timing(t);
+    const double base =
+        (rising ? ct.intrinsic_rise_ns : ct.intrinsic_fall_ns) +
+        ct.drive_res_ns_per_pf * load_pf;
+    return base * (1.0 + k_volt_ * droop_v);
+  }
+
+  /// Switching energy [pJ] for one output toggle with the given load:
+  /// E = C * VDD^2 (the paper's per-toggle energy term).
+  double toggle_energy_pj(double load_pf) const {
+    return load_pf * vdd_ * vdd_;
+  }
+
+  TechLibrary(double vdd, double k_volt, double ir_alarm_fraction,
+              std::array<CellTiming, kNumCellTypes> cells)
+      : vdd_(vdd),
+        k_volt_(k_volt),
+        ir_alarm_fraction_(ir_alarm_fraction),
+        cells_(cells) {}
+
+ private:
+  double vdd_;
+  double k_volt_;
+  double ir_alarm_fraction_;
+  std::array<CellTiming, kNumCellTypes> cells_;
+};
+
+}  // namespace scap

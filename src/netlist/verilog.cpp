@@ -1,0 +1,346 @@
+#include "netlist/verilog.h"
+
+#include <cctype>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace scap {
+
+namespace {
+
+constexpr std::string_view kMuxPins[] = {"S", "A", "B"};
+constexpr std::string_view kAbcdPins[] = {"A", "B", "C", "D"};
+
+}  // namespace
+
+std::string_view input_pin_name(CellType t, int i) {
+  if (t == CellType::kMux2) return kMuxPins[i];
+  if (t == CellType::kDff) return "D";
+  return kAbcdPins[i];
+}
+
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name) {
+  // Port list: PIs, clock ports, POs.
+  os << "module " << module_name << " (";
+  bool first = true;
+  auto emit_port = [&](const std::string& p) {
+    if (!first) os << ", ";
+    os << p;
+    first = false;
+  };
+  for (NetId pi : nl.primary_inputs()) emit_port(nl.net_name(pi));
+  for (std::uint8_t d = 0; d < nl.domain_count(); ++d) {
+    emit_port("clk" + std::to_string(d));
+  }
+  for (NetId po : nl.primary_outputs()) emit_port(nl.net_name(po));
+  os << ");\n";
+
+  for (NetId pi : nl.primary_inputs()) {
+    os << "  input " << nl.net_name(pi) << ";\n";
+  }
+  for (std::uint8_t d = 0; d < nl.domain_count(); ++d) {
+    os << "  input clk" << static_cast<int>(d) << ";\n";
+  }
+  for (NetId po : nl.primary_outputs()) {
+    os << "  output " << nl.net_name(po) << ";\n";
+  }
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& nr = nl.net(n);
+    if (nr.driver_kind != DriverKind::kInput) {
+      os << "  wire " << nl.net_name(n) << ";\n";
+    }
+  }
+
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gr = nl.gate(g);
+    os << "  " << cell_name(gr.type) << " b" << gr.block << "_g" << g << " (.Y("
+       << nl.net_name(gr.out) << ")";
+    const auto ins = nl.gate_inputs(g);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      os << ", ." << input_pin_name(gr.type, static_cast<int>(i)) << "("
+         << nl.net_name(ins[i]) << ")";
+    }
+    os << ");\n";
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const Flop& fr = nl.flop(f);
+    os << "  " << (fr.neg_edge ? "SDFFN" : "SDFF") << " b" << fr.block << "_f"
+       << f << " (.Q(" << nl.net_name(fr.q) << "), .D(" << nl.net_name(fr.d)
+       << "), .CK(clk" << static_cast<int>(fr.domain) << "));\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string to_verilog(const Netlist& nl, const std::string& module_name) {
+  std::ostringstream os;
+  write_verilog(nl, os, module_name);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+struct Token {
+  enum Kind { kIdent, kPunct, kEnd } kind = kEnd;
+  std::string text;
+  int line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_ws_and_comments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= text_.size()) return t;
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\') {
+      t.kind = Token::kIdent;
+      std::size_t start = pos_;
+      if (c == '\\') {  // escaped identifier: up to whitespace
+        ++pos_;
+        start = pos_;
+        while (pos_ < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '$')) {
+          ++pos_;
+        }
+      }
+      t.text = std::string(text_.substr(start, pos_ - start));
+      return t;
+    }
+    t.kind = Token::kPunct;
+    t.text = std::string(1, c);
+    ++pos_;
+    return t;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, text_.size());
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lex_(text) { advance(); }
+
+  Netlist parse() {
+    expect_ident("module");
+    expect_kind(Token::kIdent);  // module name (ignored)
+    expect_punct("(");
+    while (!at_punct(")")) advance();  // header port list: names repeated below
+    expect_punct(")");
+    expect_punct(";");
+
+    // Declarations and instances until endmodule.
+    while (!at_ident("endmodule")) {
+      if (at_ident("input")) {
+        advance();
+        parse_decl_list([&](const std::string& name) {
+          if (name.rfind("clk", 0) == 0) {
+            clock_ports_.push_back(name);
+          } else {
+            nets_[name] = nl_.add_input(name);
+          }
+        });
+      } else if (at_ident("output")) {
+        advance();
+        parse_decl_list([&](const std::string& name) { outputs_.push_back(name); });
+      } else if (at_ident("wire")) {
+        advance();
+        parse_decl_list([&](const std::string& name) { ensure_net(name); });
+      } else if (cur_.kind == Token::kIdent) {
+        parse_instance();
+      } else {
+        error("unexpected token '" + cur_.text + "'");
+      }
+    }
+
+    nl_.set_domain_count(
+        static_cast<std::uint8_t>(std::max<std::size_t>(1, clock_ports_.size())));
+    std::uint16_t max_block = 0;
+    for (GateId g = 0; g < nl_.num_gates(); ++g) {
+      max_block = std::max(max_block, nl_.gate(g).block);
+    }
+    for (FlopId f = 0; f < nl_.num_flops(); ++f) {
+      max_block = std::max(max_block, nl_.flop(f).block);
+    }
+    nl_.set_block_count(static_cast<std::uint16_t>(max_block + 1));
+    for (const std::string& po : outputs_) nl_.mark_output(find_net(po));
+    nl_.finalize();
+    return std::move(nl_);
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& msg) const {
+    throw std::runtime_error("verilog parse error (line " +
+                             std::to_string(cur_.line) + "): " + msg);
+  }
+
+  void advance() { cur_ = lex_.next(); }
+  bool at_ident(std::string_view s) const {
+    return cur_.kind == Token::kIdent && cur_.text == s;
+  }
+  bool at_punct(std::string_view s) const {
+    return cur_.kind == Token::kPunct && cur_.text == s;
+  }
+  void expect_ident(std::string_view s) {
+    if (!at_ident(s)) error("expected '" + std::string(s) + "'");
+    advance();
+  }
+  void expect_punct(std::string_view s) {
+    if (!at_punct(s)) error("expected '" + std::string(s) + "'");
+    advance();
+  }
+  std::string expect_kind(Token::Kind k) {
+    if (cur_.kind != k) error("unexpected token '" + cur_.text + "'");
+    std::string t = cur_.text;
+    advance();
+    return t;
+  }
+
+  template <typename Fn>
+  void parse_decl_list(Fn&& fn) {
+    for (;;) {
+      fn(expect_kind(Token::kIdent));
+      if (at_punct(",")) {
+        advance();
+        continue;
+      }
+      expect_punct(";");
+      return;
+    }
+  }
+
+  NetId ensure_net(const std::string& name) {
+    auto it = nets_.find(name);
+    if (it != nets_.end()) return it->second;
+    const NetId id = nl_.add_net(name);
+    nets_[name] = id;
+    return id;
+  }
+
+  NetId find_net(const std::string& name) const {
+    auto it = nets_.find(name);
+    if (it == nets_.end()) {
+      throw std::runtime_error("verilog parse error: unknown net '" + name + "'");
+    }
+    return it->second;
+  }
+
+  /// Block tag from an instance name "b<block>_..."; 0 if absent.
+  static BlockId block_from_name(const std::string& inst) {
+    if (inst.size() < 3 || inst[0] != 'b') return 0;
+    std::size_t i = 1;
+    std::uint32_t v = 0;
+    while (i < inst.size() && std::isdigit(static_cast<unsigned char>(inst[i]))) {
+      v = v * 10 + static_cast<std::uint32_t>(inst[i] - '0');
+      ++i;
+    }
+    if (i == 1 || i >= inst.size() || inst[i] != '_') return 0;
+    return static_cast<BlockId>(v);
+  }
+
+  void parse_instance() {
+    const std::string cell = expect_kind(Token::kIdent);
+    const std::string inst = expect_kind(Token::kIdent);
+    const BlockId block = block_from_name(inst);
+
+    std::map<std::string, std::string> conns;
+    expect_punct("(");
+    for (;;) {
+      expect_punct(".");
+      const std::string pin = expect_kind(Token::kIdent);
+      expect_punct("(");
+      const std::string net = expect_kind(Token::kIdent);
+      expect_punct(")");
+      conns[pin] = net;
+      if (at_punct(",")) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect_punct(")");
+    expect_punct(";");
+
+    auto pin_net = [&](std::string_view pin) -> NetId {
+      auto it = conns.find(std::string(pin));
+      if (it == conns.end()) error(cell + " " + inst + ": missing pin ." + std::string(pin));
+      return ensure_net(it->second);
+    };
+
+    if (cell == "SDFF" || cell == "SDFFN") {
+      const NetId d = pin_net("D");
+      const NetId q = pin_net("Q");
+      auto it = conns.find("CK");
+      if (it == conns.end()) error(inst + ": flop missing .CK");
+      DomainId dom = 0;
+      const std::string& ck = it->second;
+      if (ck.rfind("clk", 0) == 0 && ck.size() > 3) {
+        dom = static_cast<DomainId>(std::stoi(ck.substr(3)));
+      }
+      nl_.add_flop(d, q, dom, block, cell == "SDFFN");
+      return;
+    }
+
+    CellType type;
+    if (!cell_from_name(cell, type)) error("unknown cell '" + cell + "'");
+    std::vector<NetId> ins;
+    for (int i = 0; i < num_inputs(type); ++i) {
+      ins.push_back(pin_net(input_pin_name(type, i)));
+    }
+    nl_.add_gate(type, ins, pin_net("Y"), block);
+  }
+
+  Lexer lex_;
+  Token cur_;
+  Netlist nl_;
+  std::map<std::string, NetId> nets_;
+  std::vector<std::string> outputs_;
+  std::vector<std::string> clock_ports_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace scap

@@ -1,0 +1,32 @@
+// Structural Verilog interchange (writer + parser) for a round-trippable
+// subset: one flat module, scalar ports/wires, named-port cell instances from
+// this library's vocabulary (see cell_type.h). Block tags are encoded in
+// instance names ("b<block>_..."), clock domains in clock port names
+// ("clk<domain>"); negative-edge flops instantiate SDFFN.
+//
+// This is the library's analogue of the gate-level netlists the paper moves
+// between DFT Compiler, TetraMAX and VCS.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace scap {
+
+/// Pin name of the i-th input of a cell (A/B/C/D; MUX2 uses S/A/B).
+std::string_view input_pin_name(CellType t, int i);
+
+/// Serialize to structural Verilog. module_name defaults to "top".
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name = "top");
+std::string to_verilog(const Netlist& nl,
+                       const std::string& module_name = "top");
+
+/// Parse the subset written by write_verilog. Returns a finalized netlist.
+/// Throws std::runtime_error with a line number on malformed input.
+Netlist parse_verilog(std::string_view text);
+
+}  // namespace scap

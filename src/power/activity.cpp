@@ -1,0 +1,33 @@
+#include "power/activity.h"
+
+#include <array>
+
+namespace scap {
+
+std::vector<DomainId> assign_gate_domains(const Netlist& nl) {
+  // Domain per net, then majority vote per gate over its inputs.
+  std::vector<DomainId> net_domain(nl.num_nets(), 0);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    net_domain[nl.flop(f).q] = nl.flop(f).domain;
+  }
+
+  std::vector<DomainId> gate_domain(nl.num_gates(), 0);
+  std::array<std::uint16_t, 256> votes{};
+  for (GateId g : nl.topo_order()) {
+    votes.fill(0);
+    DomainId best = 0;
+    std::uint16_t best_votes = 0;
+    for (NetId in : nl.gate_inputs(g)) {
+      const DomainId d = net_domain[in];
+      if (++votes[d] > best_votes) {
+        best_votes = votes[d];
+        best = d;
+      }
+    }
+    gate_domain[g] = best;
+    net_domain[nl.gate(g).out] = best;
+  }
+  return gate_domain;
+}
+
+}  // namespace scap

@@ -1,0 +1,20 @@
+// Structural clock-domain assignment for combinational instances.
+//
+// Vector-less (statistical) power analysis needs a switching frequency for
+// every gate. Flops carry their domain explicitly; combinational gates
+// inherit the majority domain of their fan-in, propagated in topological
+// order from flop Q pins (primary inputs count as the dominant domain 0,
+// matching the paper's setup where PIs are held constant during test and the
+// chip-level domain clka spans all blocks).
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace scap {
+
+/// Per-gate clock-domain id.
+std::vector<DomainId> assign_gate_domains(const Netlist& nl);
+
+}  // namespace scap

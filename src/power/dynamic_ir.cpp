@@ -1,0 +1,89 @@
+#include "power/dynamic_ir.h"
+
+#include <algorithm>
+
+namespace scap {
+
+DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
+                                   const Parasitics& par,
+                                   const TechLibrary& lib, const Floorplan& fp,
+                                   const PowerGrid& grid, const SimTrace& trace,
+                                   const ClockTree* clock_tree,
+                                   DomainId active_domain,
+                                   const DynamicIrOptions& opt) {
+  DynamicIrReport rep;
+  rep.window_ns = std::max(trace.stw_ns(), 1e-3);
+
+  // Accumulate switched charge [pC] per driving instance and rail.
+  std::vector<double> gate_q_vdd(nl.num_gates(), 0.0);
+  std::vector<double> gate_q_vss(nl.num_gates(), 0.0);
+  std::vector<double> flop_q_vdd(nl.num_flops(), 0.0);
+  std::vector<double> flop_q_vss(nl.num_flops(), 0.0);
+  const double vdd = lib.vdd();
+
+  for (const ToggleEvent& t : trace.toggles) {
+    const double q_pc = par.net_load_pf(t.net) * vdd;
+    const Net& nr = nl.net(t.net);
+    if (nr.driver_kind == DriverKind::kGate) {
+      (t.rising ? gate_q_vdd : gate_q_vss)[nr.driver] += q_pc;
+    } else if (nr.driver_kind == DriverKind::kFlop) {
+      (t.rising ? flop_q_vdd : flop_q_vss)[nr.driver] += q_pc;
+    }
+  }
+
+  // Convert to average currents over the window: pC / ns == mA -> A.
+  std::vector<Point> where;
+  std::vector<double> vdd_amps;
+  std::vector<double> vss_amps;
+  where.reserve(nl.num_gates() + nl.num_flops() + 256);
+  const double to_amps = 1e-3 / rep.window_ns;  // (pC -> mA) -> A
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (gate_q_vdd[g] == 0.0 && gate_q_vss[g] == 0.0) continue;
+    where.push_back(pl.gate_pos(g));
+    vdd_amps.push_back(gate_q_vdd[g] * to_amps);
+    vss_amps.push_back(gate_q_vss[g] * to_amps);
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (flop_q_vdd[f] == 0.0 && flop_q_vss[f] == 0.0) continue;
+    where.push_back(pl.flop_pos(f));
+    vdd_amps.push_back(flop_q_vdd[f] * to_amps);
+    vss_amps.push_back(flop_q_vss[f] * to_amps);
+  }
+  if (opt.include_clock_tree && clock_tree != nullptr) {
+    for (const ClockBuffer& b : clock_tree->buffers()) {
+      if (b.domain != active_domain) continue;
+      // One rise and one fall per launch-capture window.
+      const double q_pc = b.load_pf * vdd;
+      where.push_back(b.pos);
+      vdd_amps.push_back(q_pc * to_amps);
+      vss_amps.push_back(q_pc * to_amps);
+    }
+  }
+
+  rep.vdd_solution = grid.solve(where, vdd_amps, /*vdd_rail=*/true);
+  rep.vss_solution = grid.solve(where, vss_amps, /*vdd_rail=*/false);
+  rep.worst_vdd_v = rep.vdd_solution.worst();
+  rep.worst_vss_v = rep.vss_solution.worst();
+
+  rep.block_worst_vdd_v.resize(nl.block_count());
+  rep.block_avg_vdd_v.resize(nl.block_count());
+  rep.block_worst_vss_v.resize(nl.block_count());
+  for (BlockId b = 0; b < nl.block_count(); ++b) {
+    const Rect r = b < fp.block_count() ? fp.block(b).rect : fp.die();
+    rep.block_worst_vdd_v[b] = rep.vdd_solution.worst_in(r);
+    rep.block_avg_vdd_v[b] = rep.vdd_solution.average_in(r);
+    rep.block_worst_vss_v[b] = rep.vss_solution.worst_in(r);
+  }
+
+  rep.gate_droop_v.resize(nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    rep.gate_droop_v[g] = rep.droop_at(pl.gate_pos(g));
+  }
+  rep.flop_droop_v.resize(nl.num_flops());
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    rep.flop_droop_v[f] = rep.droop_at(pl.flop_pos(f));
+  }
+  return rep;
+}
+
+}  // namespace scap

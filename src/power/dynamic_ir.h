@@ -1,0 +1,60 @@
+// Per-pattern dynamic IR-drop analysis (paper Section 2.4).
+//
+// The toggle trace of one launch-to-capture simulation is converted into
+// per-instance average currents over the pattern's switching window (rising
+// toggles draw from VDD, falling toggles dump into VSS), and both rails are
+// solved on the resistive grid. The result carries:
+//  - worst / per-block IR-drop numbers (Table 4, Figure 3),
+//  - a per-gate voltage droop vector (VDD loss + VSS bounce at the gate's
+//    location) that drives the delay-scaled re-simulation of Figure 7.
+#pragma once
+
+#include <vector>
+
+#include "layout/clock_tree.h"
+#include "layout/floorplan.h"
+#include "layout/parasitics.h"
+#include "layout/placement.h"
+#include "netlist/netlist.h"
+#include "netlist/tech_library.h"
+#include "power/power_grid.h"
+#include "sim/event_sim.h"
+
+namespace scap {
+
+struct DynamicIrOptions {
+  /// Include the active domain's clock-tree switching (one rise + one fall
+  /// per launch-capture window) in the rail currents.
+  bool include_clock_tree = true;
+};
+
+struct DynamicIrReport {
+  double window_ns = 0.0;
+  GridSolution vdd_solution;
+  GridSolution vss_solution;
+  double worst_vdd_v = 0.0;
+  double worst_vss_v = 0.0;
+  std::vector<double> block_worst_vdd_v;
+  std::vector<double> block_avg_vdd_v;
+  std::vector<double> block_worst_vss_v;
+
+  /// Per-gate / per-flop local droop [V] = VDD drop + VSS bounce, for the
+  /// ScaledCellDelay = Delay * (1 + k_volt * dV) re-simulation.
+  std::vector<double> gate_droop_v;
+  std::vector<double> flop_droop_v;
+
+  /// Droop at an arbitrary location (used for clock buffers).
+  double droop_at(Point p) const {
+    return vdd_solution.drop_at(p) + vss_solution.drop_at(p);
+  }
+};
+
+DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
+                                   const Parasitics& par,
+                                   const TechLibrary& lib, const Floorplan& fp,
+                                   const PowerGrid& grid, const SimTrace& trace,
+                                   const ClockTree* clock_tree,
+                                   DomainId active_domain,
+                                   const DynamicIrOptions& opt = {});
+
+}  // namespace scap

@@ -1,0 +1,167 @@
+#include "power/power_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scap {
+
+double GridSolution::drop_at(Point p) const {
+  // Map p to fractional grid coordinates; clamp to the node lattice.
+  const double fx = (p.x - die.x0) / die.width() * (nx - 1);
+  const double fy = (p.y - die.y0) / die.height() * (ny - 1);
+  const double cx = std::clamp(fx, 0.0, static_cast<double>(nx - 1));
+  const double cy = std::clamp(fy, 0.0, static_cast<double>(ny - 1));
+  const auto ix = static_cast<std::uint32_t>(cx);
+  const auto iy = static_cast<std::uint32_t>(cy);
+  const std::uint32_t ix1 = std::min(ix + 1, nx - 1);
+  const std::uint32_t iy1 = std::min(iy + 1, ny - 1);
+  const double tx = cx - ix;
+  const double ty = cy - iy;
+  const double v00 = node(ix, iy), v10 = node(ix1, iy);
+  const double v01 = node(ix, iy1), v11 = node(ix1, iy1);
+  return (1 - tx) * (1 - ty) * v00 + tx * (1 - ty) * v10 +
+         (1 - tx) * ty * v01 + tx * ty * v11;
+}
+
+double GridSolution::worst() const {
+  double m = 0.0;
+  for (double d : drop_v) m = std::max(m, d);
+  return m;
+}
+
+double GridSolution::worst_in(const Rect& r) const {
+  double m = 0.0;
+  for (std::uint32_t iy = 0; iy < ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < nx; ++ix) {
+      const Point p{die.x0 + die.width() * ix / (nx - 1),
+                    die.y0 + die.height() * iy / (ny - 1)};
+      if (r.contains(p)) m = std::max(m, node(ix, iy));
+    }
+  }
+  return m;
+}
+
+double GridSolution::average_in(const Rect& r) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::uint32_t iy = 0; iy < ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < nx; ++ix) {
+      const Point p{die.x0 + die.width() * ix / (nx - 1),
+                    die.y0 + die.height() * iy / (ny - 1)};
+      if (r.contains(p)) {
+        sum += node(ix, iy);
+        ++n;
+      }
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+PowerGrid::PowerGrid(const Floorplan& fp, PowerGridOptions opt)
+    : opt_(opt), die_(fp.die()) {
+  const std::size_t n = static_cast<std::size_t>(opt_.nx) * opt_.ny;
+  vdd_pad_conductance_.assign(n, 0.0);
+  vss_pad_conductance_.assign(n, 0.0);
+  const double gpad = 1.0 / opt_.pad_res_ohm;
+  for (const PowerPad& pad : fp.pads()) {
+    auto& vec = pad.is_vdd ? vdd_pad_conductance_ : vss_pad_conductance_;
+    vec[nearest_node(pad.pos)] += gpad;
+  }
+}
+
+std::uint32_t PowerGrid::nearest_node(Point p) const {
+  const double fx = (p.x - die_.x0) / die_.width() * (opt_.nx - 1);
+  const double fy = (p.y - die_.y0) / die_.height() * (opt_.ny - 1);
+  const auto ix = static_cast<std::uint32_t>(
+      std::clamp(std::lround(fx), 0l, static_cast<long>(opt_.nx - 1)));
+  const auto iy = static_cast<std::uint32_t>(
+      std::clamp(std::lround(fy), 0l, static_cast<long>(opt_.ny - 1)));
+  return node_index(ix, iy);
+}
+
+GridSolution PowerGrid::solve(std::span<const Point> where,
+                              std::span<const double> amps,
+                              bool vdd_rail) const {
+  const std::uint32_t nx = opt_.nx, ny = opt_.ny;
+  const std::size_t n = static_cast<std::size_t>(nx) * ny;
+
+  std::vector<double> current(n, 0.0);
+  for (std::size_t i = 0; i < where.size(); ++i) {
+    current[nearest_node(where[i])] += amps[i];
+  }
+
+  const std::vector<double>& pad_g =
+      vdd_rail ? vdd_pad_conductance_ : vss_pad_conductance_;
+  const double gseg = 1.0 / opt_.segment_res_ohm;
+
+  GridSolution sol;
+  sol.nx = nx;
+  sol.ny = ny;
+  sol.die = die_;
+  sol.drop_v.assign(n, 0.0);
+
+  // SOR sweeps. The mesh is small (nx*ny nodes) so a simple lexicographic
+  // sweep converges quickly even without red-black ordering.
+  std::vector<double>& d = sol.drop_v;
+  for (std::uint32_t it = 0; it < opt_.max_iterations; ++it) {
+    double max_delta = 0.0;
+    for (std::uint32_t iy = 0; iy < ny; ++iy) {
+      for (std::uint32_t ix = 0; ix < nx; ++ix) {
+        const std::uint32_t i = node_index(ix, iy);
+        double gsum = pad_g[i];
+        double flow = current[i];
+        if (ix > 0) {
+          gsum += gseg;
+          flow += gseg * d[i - 1];
+        }
+        if (ix + 1 < nx) {
+          gsum += gseg;
+          flow += gseg * d[i + 1];
+        }
+        if (iy > 0) {
+          gsum += gseg;
+          flow += gseg * d[i - nx];
+        }
+        if (iy + 1 < ny) {
+          gsum += gseg;
+          flow += gseg * d[i + nx];
+        }
+        const double next = flow / gsum;
+        const double relaxed = d[i] + opt_.sor_omega * (next - d[i]);
+        max_delta = std::max(max_delta, std::abs(relaxed - d[i]));
+        d[i] = relaxed;
+      }
+    }
+    sol.iterations = it + 1;
+    if (max_delta < opt_.tolerance_v) {
+      sol.converged = true;
+      break;
+    }
+  }
+  return sol;
+}
+
+std::string PowerGrid::ascii_map(const GridSolution& sol, double alarm_v,
+                                 std::uint32_t max_cols) {
+  static constexpr char kRamp[] = " .:-=+*%@";
+  constexpr std::size_t kRampLevels = sizeof(kRamp) - 2;  // last is '@'
+  const std::uint32_t step = std::max(1u, sol.nx / max_cols);
+  std::string out;
+  for (std::uint32_t iy = sol.ny; iy-- > 0;) {
+    if (iy % step) continue;
+    for (std::uint32_t ix = 0; ix < sol.nx; ix += step) {
+      const double v = sol.node(ix, iy);
+      if (v >= alarm_v) {
+        out.push_back('#');
+      } else {
+        const auto level = static_cast<std::size_t>(
+            std::clamp(v / alarm_v, 0.0, 0.999) * kRampLevels);
+        out.push_back(kRamp[level]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace scap

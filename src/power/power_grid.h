@@ -1,0 +1,90 @@
+// Resistive power-distribution-network model and DC IR-drop solver.
+//
+// Each rail (VDD and VSS) is a uniform 2-D resistive mesh spanning the die,
+// fed by ideal pads on the periphery (the Turbo-Eagle floorplan has 37 pads
+// per rail). Instance switching currents are injected at the nearest mesh
+// node and the resulting node voltages are obtained from the linear system
+//
+//     sum_j g_ij (d_i - d_j) + g_pad,i * d_i = I_i
+//
+// solved by successive over-relaxation. d_i is the *drop* at node i: VDD
+// loss on the VDD rail, ground bounce on the VSS rail -- the same equations
+// apply to both because the floorplan places the two pad sets symmetrically.
+//
+// This is the library's stand-in for the rail analysis the paper runs in
+// Cadence SOC Encounter; both the statistical (vector-less) and the dynamic
+// (per-pattern) analyses reduce to exactly this windowed-average DC solve.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "layout/floorplan.h"
+#include "util/geometry.h"
+
+namespace scap {
+
+struct PowerGridOptions {
+  std::uint32_t nx = 48;
+  std::uint32_t ny = 48;
+  /// Resistance of one mesh segment [ohm]. The default is calibrated so the
+  /// reference SOC shows a functional statistical worst IR-drop of a few
+  /// percent of VDD, matching the paper's Table 3 regime.
+  double segment_res_ohm = 0.35;
+  /// Pad contact resistance [ohm].
+  double pad_res_ohm = 0.08;
+  double sor_omega = 1.9;
+  double tolerance_v = 1e-7;
+  std::uint32_t max_iterations = 20000;
+};
+
+struct GridSolution {
+  std::uint32_t nx = 0;
+  std::uint32_t ny = 0;
+  Rect die;
+  std::vector<double> drop_v;  ///< row-major node drops [V]
+  std::uint32_t iterations = 0;
+  bool converged = false;
+
+  double node(std::uint32_t ix, std::uint32_t iy) const {
+    return drop_v[iy * nx + ix];
+  }
+  /// Bilinear sample of the drop at an arbitrary die location.
+  double drop_at(Point p) const;
+  double worst() const;
+  double worst_in(const Rect& r) const;
+  double average_in(const Rect& r) const;
+};
+
+class PowerGrid {
+ public:
+  PowerGrid(const Floorplan& fp, PowerGridOptions opt = PowerGridOptions{});
+
+  /// Solve one rail for the given point current injections [A].
+  /// vdd_rail selects which pad set anchors the mesh.
+  GridSolution solve(std::span<const Point> where, std::span<const double> amps,
+                     bool vdd_rail) const;
+
+  /// ASCII heat map; cells above alarm_v render '#' (the paper's Figure 3
+  /// "red region" at 10% of VDD), with a linear ramp " .:-=+*%@" below.
+  static std::string ascii_map(const GridSolution& sol, double alarm_v,
+                               std::uint32_t max_cols = 64);
+
+  const PowerGridOptions& options() const { return opt_; }
+  const Rect& die() const { return die_; }
+
+ private:
+  std::uint32_t node_index(std::uint32_t ix, std::uint32_t iy) const {
+    return iy * opt_.nx + ix;
+  }
+  std::uint32_t nearest_node(Point p) const;
+
+  PowerGridOptions opt_;
+  Rect die_;
+  std::vector<double> vdd_pad_conductance_;  ///< per node [S]
+  std::vector<double> vss_pad_conductance_;
+};
+
+}  // namespace scap

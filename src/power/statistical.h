@@ -1,0 +1,56 @@
+// Vector-less statistical power and IR-drop analysis (paper Section 2.2).
+//
+// Every instance is assumed to toggle with a uniform probability per cycle of
+// its clock domain. Case1 averages the resulting current over the full cycle;
+// Case2 concentrates the same switching into a window of half the cycle (the
+// average switching-time-frame observation from the paper's earlier b19
+// experiments), doubling power and current during the window. The per-block
+// Case2 power numbers are the SCAP thresholds used to screen test patterns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "layout/clock_tree.h"
+#include "layout/floorplan.h"
+#include "layout/parasitics.h"
+#include "layout/placement.h"
+#include "netlist/netlist.h"
+#include "netlist/tech_library.h"
+#include "power/power_grid.h"
+
+namespace scap {
+
+struct StatisticalOptions {
+  /// Net toggle probability per cycle. Designers typically assume 20% for
+  /// functional mode; the paper deliberately uses a pessimistic 30% because
+  /// the threshold feeds test-pattern screening.
+  double toggle_prob = 0.30;
+  /// Fraction of the cycle the switching is concentrated into:
+  /// 1.0 = Case1 (full cycle), 0.5 = Case2 (average STW).
+  double window_fraction = 1.0;
+  /// Include clock-tree switching (toggles every cycle regardless of data).
+  bool include_clock_tree = true;
+};
+
+struct StatisticalReport {
+  StatisticalOptions options;
+  /// Average switching power during the analysis window [mW].
+  std::vector<double> block_power_mw;
+  double chip_power_mw = 0.0;
+  /// Worst average IR-drop inside each block / on the whole die [V].
+  std::vector<double> block_worst_vdd_v;
+  std::vector<double> block_worst_vss_v;
+  double chip_worst_vdd_v = 0.0;
+  double chip_worst_vss_v = 0.0;
+  GridSolution vdd_solution;
+  GridSolution vss_solution;
+};
+
+StatisticalReport analyze_statistical(
+    const Netlist& nl, const Placement& pl, const Parasitics& par,
+    const TechLibrary& lib, const Floorplan& fp, const PowerGrid& grid,
+    std::span<const double> domain_freq_mhz, const ClockTree* clock_tree,
+    const StatisticalOptions& opt);
+
+}  // namespace scap

@@ -1,0 +1,132 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+namespace scap {
+
+DelayModel::DelayModel(const Netlist& nl, const TechLibrary& lib,
+                       const Parasitics& par) {
+  base_rise_ns_.resize(nl.num_gates());
+  base_fall_ns_.resize(nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const double load = par.gate_load_pf(nl, g);
+    base_rise_ns_[g] = lib.gate_delay_ns(nl.gate(g).type, true, load);
+    base_fall_ns_[g] = lib.gate_delay_ns(nl.gate(g).type, false, load);
+  }
+  rise_ns_ = base_rise_ns_;
+  fall_ns_ = base_fall_ns_;
+}
+
+void DelayModel::set_droop(const TechLibrary& lib,
+                           std::span<const double> gate_droop_v) {
+  if (gate_droop_v.empty()) {
+    rise_ns_ = base_rise_ns_;
+    fall_ns_ = base_fall_ns_;
+    return;
+  }
+  for (std::size_t g = 0; g < base_rise_ns_.size(); ++g) {
+    const double k = 1.0 + lib.k_volt() * gate_droop_v[g];
+    rise_ns_[g] = base_rise_ns_[g] * k;
+    fall_ns_[g] = base_fall_ns_[g] * k;
+  }
+}
+
+namespace {
+
+/// Transport-delay scheduling with cancel-on-reschedule.
+///
+/// When a gate re-evaluates at time t it schedules its (possibly unchanged)
+/// output value at t + d(edge) and cancels any of its pending output events
+/// at times >= t + d: those were computed from older input states that the
+/// new evaluation supersedes (with unequal rise/fall delays a later
+/// evaluation can fire *earlier*). This is the standard transport semantics:
+/// the last event on every net comes from the last input change, so final
+/// values equal the zero-delay evaluation of the final inputs, while hazard
+/// pulses wide enough to clear the gate delay propagate and burn switching
+/// power -- exactly what a VCD from a gate-level timing simulation shows.
+struct QueueEntry {
+  double t_ns;
+  NetId net;
+  std::uint64_t stamp;
+
+  bool operator>(const QueueEntry& o) const {
+    return t_ns != o.t_ns ? t_ns > o.t_ns : stamp > o.stamp;
+  }
+};
+
+struct PendingEvent {
+  double t_ns;
+  std::uint8_t value;
+  std::uint64_t stamp;
+};
+
+}  // namespace
+
+SimTrace EventSim::run(std::span<const std::uint8_t> initial_net_values,
+                       std::span<const Stimulus> stimuli) const {
+  const Netlist& nl = *nl_;
+  std::vector<std::uint8_t> value(initial_net_values.begin(),
+                                  initial_net_values.end());
+
+  // Per-net pending output events, time-sorted; cancellation pops from the
+  // back (later times), firing pops from the front.
+  std::vector<std::vector<PendingEvent>> pending(nl.num_nets());
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      queue;
+  std::uint64_t stamp = 0;
+
+  auto schedule = [&](NetId net, double t, std::uint8_t v) {
+    auto& pq = pending[net];
+    while (!pq.empty() && pq.back().t_ns >= t) pq.pop_back();
+    pq.push_back(PendingEvent{t, v, stamp});
+    queue.push(QueueEntry{t, net, stamp});
+    ++stamp;
+  };
+
+  for (const Stimulus& s : stimuli) schedule(s.net, s.t_ns, s.value);
+
+  SimTrace trace;
+  std::array<std::uint8_t, 4> ins{};
+  auto eval_gate = [&](GateId g) {
+    const auto in_nets = nl.gate_inputs(g);
+    for (std::size_t i = 0; i < in_nets.size(); ++i) ins[i] = value[in_nets[i]];
+    return eval_scalar(nl.gate(g).type,
+                       std::span<const std::uint8_t>(ins.data(), in_nets.size()));
+  };
+
+  while (!queue.empty()) {
+    const QueueEntry qe = queue.top();
+    queue.pop();
+    ++trace.num_events_processed;
+    auto& pq = pending[qe.net];
+    if (pq.empty() || pq.front().stamp != qe.stamp) continue;  // cancelled
+    const std::uint8_t v = pq.front().value;
+    pq.erase(pq.begin());
+    if (value[qe.net] == v) continue;
+    value[qe.net] = v;
+    if (trace.toggles.empty()) trace.first_toggle_ns = qe.t_ns;
+    trace.toggles.push_back(
+        ToggleEvent{qe.net, static_cast<float>(qe.t_ns), v != 0});
+    trace.last_toggle_ns = std::max(trace.last_toggle_ns, qe.t_ns);
+    for (GateId g : nl.fanout_gates(qe.net)) {
+      const std::uint8_t out = eval_gate(g);
+      const double d = out ? dm_->rise_ns(g) : dm_->fall_ns(g);
+      schedule(nl.gate(g).out, qe.t_ns + d, out);
+    }
+  }
+  // Toggle list is produced in commit order == time order already.
+  return trace;
+}
+
+std::vector<double> EventSim::settle_times(const SimTrace& trace,
+                                           std::size_t num_nets) {
+  std::vector<double> settle(num_nets, 0.0);
+  for (const ToggleEvent& t : trace.toggles) {
+    settle[t.net] = std::max(settle[t.net], static_cast<double>(t.t_ns));
+  }
+  return settle;
+}
+
+}  // namespace scap

@@ -1,0 +1,80 @@
+#include "sim/logic_sim.h"
+
+#include <array>
+#include <cassert>
+
+namespace scap {
+
+namespace {
+
+// Max fan-in across the cell library (4-input gates).
+constexpr std::size_t kMaxIns = 4;
+
+template <typename T, typename EvalFn>
+void eval_frame_impl(const Netlist& nl, std::span<const T> flop_q,
+                     std::span<const T> pi, std::vector<T>& net_values,
+                     EvalFn&& eval) {
+  assert(flop_q.size() == nl.num_flops());
+  assert(pi.size() == nl.primary_inputs().size());
+  net_values.assign(nl.num_nets(), T{0});
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    net_values[nl.primary_inputs()[i]] = pi[i];
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    net_values[nl.flop(f).q] = flop_q[f];
+  }
+  std::array<T, kMaxIns> ins{};
+  for (GateId g : nl.topo_order()) {
+    const auto in_nets = nl.gate_inputs(g);
+    for (std::size_t i = 0; i < in_nets.size(); ++i) {
+      ins[i] = net_values[in_nets[i]];
+    }
+    net_values[nl.gate(g).out] =
+        eval(nl.gate(g).type, std::span<const T>(ins.data(), in_nets.size()));
+  }
+}
+
+template <typename T>
+void next_state_impl(const Netlist& nl, std::span<const T> net_values,
+                     std::vector<T>& next_q) {
+  next_q.resize(nl.num_flops());
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    next_q[f] = net_values[nl.flop(f).d];
+  }
+}
+
+}  // namespace
+
+void LogicSim::eval_frame(std::span<const std::uint8_t> flop_q,
+                          std::span<const std::uint8_t> pi,
+                          std::vector<std::uint8_t>& net_values) const {
+  eval_frame_impl<std::uint8_t>(*nl_, flop_q, pi, net_values, eval_scalar);
+}
+
+void LogicSim::next_state(std::span<const std::uint8_t> net_values,
+                          std::vector<std::uint8_t>& next_q) const {
+  next_state_impl<std::uint8_t>(*nl_, net_values, next_q);
+}
+
+void WordSim::eval_frame(std::span<const std::uint64_t> flop_q,
+                         std::span<const std::uint64_t> pi,
+                         std::vector<std::uint64_t>& net_values) const {
+  eval_frame_impl<std::uint64_t>(*nl_, flop_q, pi, net_values, eval_word);
+}
+
+void WordSim::next_state(std::span<const std::uint64_t> net_values,
+                         std::vector<std::uint64_t>& next_q) const {
+  next_state_impl<std::uint64_t>(*nl_, net_values, next_q);
+}
+
+void WordSim::broadside(std::span<const std::uint64_t> s1,
+                        std::span<const std::uint64_t> pi,
+                        std::vector<std::uint64_t>& frame1_nets,
+                        std::vector<std::uint64_t>& s2,
+                        std::vector<std::uint64_t>& frame2_nets) const {
+  eval_frame(s1, pi, frame1_nets);
+  next_state(frame1_nets, s2);
+  eval_frame(s2, pi, frame2_nets);
+}
+
+}  // namespace scap

@@ -1,0 +1,64 @@
+// Zero-delay logic simulation of the combinational core.
+//
+// Two engines share the broadside (launch-off-capture) semantics:
+//  - LogicSim: scalar two-valued evaluation, one pattern at a time.
+//  - WordSim: 64-way pattern-parallel evaluation (bit i = pattern i), the
+//    workhorse of fault simulation and of bulk SCAP screening.
+//
+// Frame semantics: flop Q pins are pseudo primary inputs, flop D pins pseudo
+// primary outputs. A broadside launch evaluates frame 1 from the scanned-in
+// state S1, derives S2 = D(S1) (the functional response captured by the
+// launch pulse), and evaluates frame 2 from S2; the capture pulse samples the
+// frame-2 D values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace scap {
+
+class LogicSim {
+ public:
+  explicit LogicSim(const Netlist& nl) : nl_(&nl) {}
+
+  /// Evaluate all nets from flop states and PI values (sizes must match the
+  /// netlist's flop/PI counts). net_values is resized to num_nets().
+  void eval_frame(std::span<const std::uint8_t> flop_q,
+                  std::span<const std::uint8_t> pi,
+                  std::vector<std::uint8_t>& net_values) const;
+
+  /// Next flop state (D values) from a frame's net values.
+  void next_state(std::span<const std::uint8_t> net_values,
+                  std::vector<std::uint8_t>& next_q) const;
+
+ private:
+  const Netlist* nl_;
+};
+
+class WordSim {
+ public:
+  explicit WordSim(const Netlist& nl) : nl_(&nl) {}
+
+  void eval_frame(std::span<const std::uint64_t> flop_q,
+                  std::span<const std::uint64_t> pi,
+                  std::vector<std::uint64_t>& net_values) const;
+
+  void next_state(std::span<const std::uint64_t> net_values,
+                  std::vector<std::uint64_t>& next_q) const;
+
+  /// Frame 1 + frame 2 in one call: evaluates frame 1 from s1, computes
+  /// s2 = D(s1), evaluates frame 2. Outputs are resized as needed.
+  void broadside(std::span<const std::uint64_t> s1,
+                 std::span<const std::uint64_t> pi,
+                 std::vector<std::uint64_t>& frame1_nets,
+                 std::vector<std::uint64_t>& s2,
+                 std::vector<std::uint64_t>& frame2_nets) const;
+
+ private:
+  const Netlist* nl_;
+};
+
+}  // namespace scap

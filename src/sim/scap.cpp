@@ -1,0 +1,50 @@
+#include "sim/scap.h"
+
+namespace scap {
+
+ScapCalculator::ScapCalculator(const Netlist& nl, const Parasitics& par,
+                               const TechLibrary& lib)
+    : nl_(&nl), lib_(&lib) {
+  net_cap_pf_.resize(nl.num_nets());
+  net_block_.resize(nl.num_nets());
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    net_cap_pf_[n] = par.net_load_pf(n);
+    const Net& nr = nl.net(n);
+    switch (nr.driver_kind) {
+      case DriverKind::kGate:
+        net_block_[n] = nl.gate(nr.driver).block;
+        break;
+      case DriverKind::kFlop:
+        net_block_[n] = nl.flop(nr.driver).block;
+        break;
+      default:
+        net_block_[n] = 0;
+        break;
+    }
+  }
+}
+
+ScapReport ScapCalculator::compute(const SimTrace& trace,
+                                   double period_ns) const {
+  ScapReport rep;
+  rep.period_ns = period_ns;
+  rep.stw_ns = trace.stw_ns();
+  rep.num_toggles = trace.toggles.size();
+  rep.vdd_energy_pj.assign(nl_->block_count(), 0.0);
+  rep.vss_energy_pj.assign(nl_->block_count(), 0.0);
+
+  for (const ToggleEvent& t : trace.toggles) {
+    const double e = lib_->toggle_energy_pj(net_cap_pf_[t.net]);
+    const BlockId b = net_block_[t.net];
+    if (t.rising) {
+      rep.vdd_energy_pj[b] += e;
+      rep.vdd_energy_total_pj += e;
+    } else {
+      rep.vss_energy_pj[b] += e;
+      rep.vss_energy_total_pj += e;
+    }
+  }
+  return rep;
+}
+
+}  // namespace scap

@@ -1,0 +1,47 @@
+#include "sim/sdf.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "netlist/verilog.h"
+
+namespace scap {
+
+void write_sdf(const Netlist& nl, const DelayModel& dm, std::ostream& os,
+               const std::string& design_name) {
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"3.0\")\n";
+  os << "  (DESIGN \"" << design_name << "\")\n";
+  os << "  (VENDOR \"scapgen\")\n";
+  os << "  (PROGRAM \"scapgen sdf writer\")\n";
+  os << "  (DIVIDER /)\n";
+  os << "  (TIMESCALE 1ns)\n";
+
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gr = nl.gate(g);
+    os << "  (CELL (CELLTYPE \"" << cell_name(gr.type) << "\")\n";
+    os << "    (INSTANCE b" << gr.block << "_g" << g << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    const double r = dm.rise_ns(g);
+    const double f = dm.fall_ns(g);
+    const auto ins = nl.gate_inputs(g);
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      os << "      (IOPATH " << input_pin_name(gr.type, static_cast<int>(i))
+         << " Y (" << r << ':' << r << ':' << r << ") (" << f << ':' << f
+         << ':' << f << "))\n";
+    }
+    os << "    ))\n  )\n";
+  }
+  os << ")\n";
+}
+
+std::string to_sdf(const Netlist& nl, const DelayModel& dm,
+                   const std::string& design_name) {
+  std::ostringstream os;
+  write_sdf(nl, dm, os, design_name);
+  return os.str();
+}
+
+}  // namespace scap

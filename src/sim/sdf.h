@@ -1,0 +1,26 @@
+// Standard Delay Format (SDF 3.0) export.
+//
+// The paper back-annotates gate and interconnect delays into its gate-level
+// simulation via SDF; this writer produces the equivalent document from the
+// library's delay model so external simulators can replay the same timing.
+// One CELL per gate instance with an IOPATH from every input pin to Y,
+// (rise:fall) per edge; an optional per-instance voltage-droop map emits the
+// IR-derated delays of the Section 3.2 re-simulation.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace scap {
+
+void write_sdf(const Netlist& nl, const DelayModel& dm, std::ostream& os,
+               const std::string& design_name = "top");
+
+std::string to_sdf(const Netlist& nl, const DelayModel& dm,
+                   const std::string& design_name = "top");
+
+}  // namespace scap

@@ -1,0 +1,99 @@
+#include "sim/sta.h"
+
+#include <algorithm>
+
+#include "netlist/tech_library.h"
+
+namespace scap {
+
+StaReport run_sta(const Netlist& nl, const DelayModel& dm,
+                  const TechLibrary& lib,
+                  std::span<const double> launch_arrival_ns) {
+  StaReport rep;
+  rep.arrival_ns.assign(nl.num_nets(), StaReport::kNeverTransitions);
+  rep.worst_driver.assign(nl.num_nets(), kNullId);
+
+  // Launch points: flop Q pins transition clk->Q after the launch edge.
+  const CellTiming& dff = lib.timing(CellType::kDff);
+  const double clk2q =
+      0.5 * (dff.intrinsic_rise_ns + dff.intrinsic_fall_ns);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    rep.arrival_ns[nl.flop(f).q] = launch_arrival_ns[f] + clk2q;
+  }
+
+  // Topological longest-path sweep (conservative: max of rise/fall delay).
+  for (GateId g : nl.topo_order()) {
+    double worst_in = StaReport::kNeverTransitions;
+    for (NetId in : nl.gate_inputs(g)) {
+      worst_in = std::max(worst_in, rep.arrival_ns[in]);
+    }
+    const NetId out = nl.gate(g).out;
+    if (worst_in == StaReport::kNeverTransitions) continue;  // static cone
+    const double arr = worst_in + std::max(dm.rise_ns(g), dm.fall_ns(g));
+    if (arr > rep.arrival_ns[out]) {
+      rep.arrival_ns[out] = arr;
+      rep.worst_driver[out] = g;
+    }
+  }
+
+  rep.endpoint_ns.assign(nl.num_flops(), 0.0);
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const double arr = rep.arrival_ns[nl.flop(f).d];
+    if (arr == StaReport::kNeverTransitions) continue;
+    rep.endpoint_ns[f] = arr;
+    if (arr > rep.worst_endpoint_ns) {
+      rep.worst_endpoint_ns = arr;
+      rep.worst_endpoint = f;
+    }
+  }
+  return rep;
+}
+
+double StaReport::worst_slack_ns(double period_ns, double setup_ns,
+                                 std::span<const double> capture_arrival_ns,
+                                 const Netlist& nl) const {
+  double wns = period_ns;
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const double arr = arrival_ns[nl.flop(f).d];
+    if (arr == kNeverTransitions) continue;
+    const double required = capture_arrival_ns[f] + period_ns - setup_ns;
+    wns = std::min(wns, required - arr);
+  }
+  return wns;
+}
+
+double StaReport::min_period_ns(double setup_ns,
+                                std::span<const double> capture_arrival_ns,
+                                const Netlist& nl) const {
+  double need = 0.0;
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    const double arr = arrival_ns[nl.flop(f).d];
+    if (arr == kNeverTransitions) continue;
+    need = std::max(need, arr + setup_ns - capture_arrival_ns[f]);
+  }
+  return need;
+}
+
+std::vector<NetId> critical_path(const Netlist& nl, const StaReport& sta,
+                                 FlopId endpoint) {
+  std::vector<NetId> path;
+  NetId net = nl.flop(endpoint).d;
+  while (net != kNullId) {
+    path.push_back(net);
+    const GateId g = sta.worst_driver[net];
+    if (g == kNullId) break;  // reached a launch flop Q (or untimed source)
+    // Step to the gate input with the worst arrival.
+    NetId next = kNullId;
+    double best = StaReport::kNeverTransitions;
+    for (NetId in : nl.gate_inputs(g)) {
+      if (sta.arrival_ns[in] > best) {
+        best = sta.arrival_ns[in];
+        next = in;
+      }
+    }
+    net = next;
+  }
+  return path;
+}
+
+}  // namespace scap

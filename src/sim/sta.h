@@ -1,0 +1,61 @@
+// Static timing analysis (STA-lite) over the launch-to-capture path.
+//
+// Computes, per net, the worst-case (latest) data arrival assuming every
+// flop launches at its clock arrival -- the classic topological longest-path
+// sweep with the same linear delay model the event simulator uses. Used to
+// report the design's Fmax, find critical paths, and (in tests) bound the
+// event simulator: no simulated transition can settle later than the STA
+// arrival of its net.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace scap {
+
+struct StaReport {
+  /// Latest possible transition time per net [ns]; -inf for nets that can
+  /// never transition (PI cones).
+  std::vector<double> arrival_ns;
+  /// Per flop: latest arrival at its D pin (the endpoint arrival).
+  std::vector<double> endpoint_ns;
+  /// Driver of each net's worst arrival (gate id, or kNullId at a flop Q /
+  /// untimed net) -- follow to walk the critical path.
+  std::vector<GateId> worst_driver;
+
+  double worst_endpoint_ns = 0.0;
+  FlopId worst_endpoint = kNullId;
+
+  static constexpr double kNeverTransitions =
+      -std::numeric_limits<double>::infinity();
+
+  /// Worst negative slack at the given capture period/setup, using per-flop
+  /// capture-clock arrivals (pass the same launch arrivals for a common
+  /// clock). Positive = timing met.
+  double worst_slack_ns(double period_ns, double setup_ns,
+                        std::span<const double> capture_arrival_ns,
+                        const Netlist& nl) const;
+
+  /// Minimal period meeting setup everywhere (Fmax = 1000 / this, MHz).
+  double min_period_ns(double setup_ns,
+                       std::span<const double> capture_arrival_ns,
+                       const Netlist& nl) const;
+};
+
+/// Longest-path sweep. launch_arrival_ns gives each flop's launch-clock
+/// arrival (clock-tree insertion + skew); the DFF clk->Q delay is taken from
+/// the library's DFF intrinsics inside the sweep.
+StaReport run_sta(const Netlist& nl, const DelayModel& dm,
+                  const TechLibrary& lib,
+                  std::span<const double> launch_arrival_ns);
+
+/// Nets on the critical path to `endpoint`, endpoint-first.
+std::vector<NetId> critical_path(const Netlist& nl, const StaReport& sta,
+                                 FlopId endpoint);
+
+}  // namespace scap

@@ -1,0 +1,62 @@
+#include "sim/vcd.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace scap {
+
+namespace {
+
+/// VCD identifier code for a net: base-94 over the printable ASCII range.
+std::string vcd_id(NetId n) {
+  std::string id;
+  std::uint32_t v = n;
+  do {
+    id.push_back(static_cast<char>('!' + v % 94));
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+}  // namespace
+
+void write_vcd(const Netlist& nl,
+               std::span<const std::uint8_t> initial_net_values,
+               const SimTrace& trace, std::ostream& os,
+               const std::string& top_name) {
+  os << "$date reproduction run $end\n";
+  os << "$version scapgen vcd writer $end\n";
+  os << "$timescale 1ps $end\n";
+  os << "$scope module " << top_name << " $end\n";
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    os << "$var wire 1 " << vcd_id(n) << ' ' << nl.net_name(n) << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  os << "$dumpvars\n";
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    os << (initial_net_values[n] ? '1' : '0') << vcd_id(n) << '\n';
+  }
+  os << "$end\n";
+
+  long long cur_ps = -1;
+  for (const ToggleEvent& t : trace.toggles) {
+    const long long ps = std::llround(static_cast<double>(t.t_ns) * 1000.0);
+    if (ps != cur_ps) {
+      os << '#' << ps << '\n';
+      cur_ps = ps;
+    }
+    os << (t.rising ? '1' : '0') << vcd_id(t.net) << '\n';
+  }
+}
+
+std::string to_vcd(const Netlist& nl,
+                   std::span<const std::uint8_t> initial_net_values,
+                   const SimTrace& trace, const std::string& top_name) {
+  std::ostringstream os;
+  write_vcd(nl, initial_net_values, trace, os, top_name);
+  return os.str();
+}
+
+}  // namespace scap

@@ -1,0 +1,28 @@
+// Value Change Dump (VCD) export of a toggle trace.
+//
+// The paper's point (Section 3.2) is that VCD files are too large for bulk
+// per-pattern analysis, which is why the SCAP calculator taps the simulator
+// directly. The writer exists for what the paper still uses VCD for:
+// debugging a handful of suspect patterns in a waveform viewer.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "sim/event_sim.h"
+
+namespace scap {
+
+/// Write a launch-to-capture trace as a VCD document. initial_net_values
+/// provides the $dumpvars snapshot at t=0; timescale is 1 ps.
+void write_vcd(const Netlist& nl,
+               std::span<const std::uint8_t> initial_net_values,
+               const SimTrace& trace, std::ostream& os,
+               const std::string& top_name = "top");
+
+std::string to_vcd(const Netlist& nl,
+                   std::span<const std::uint8_t> initial_net_values,
+                   const SimTrace& trace, const std::string& top_name = "top");
+
+}  // namespace scap

@@ -1,0 +1,280 @@
+#include "soc/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace scap {
+
+namespace {
+
+struct TypePick {
+  CellType type;
+  double weight;
+};
+
+// Cell mix loosely shaped on synthesized control/datapath logic. Two
+// competing properties are balanced here:
+//  - signal probabilities must stay near 0.5 through deep cones (random
+//    testability): inverting cells (NAND/NOR) self-correct the drift that
+//    plain AND/OR chains suffer, XOR/MUX preserve it exactly;
+//  - the switching propagation factor (fanout x P(input change reaches the
+//    output)) must stay near/below 1, or every local disturbance spreads
+//    epidemically through its block and drowns the power analysis --
+//    masking-rich NAND/NOR dominate and always-propagating INV/XOR are kept
+//    scarce, which is also what synthesized netlists look like.
+constexpr std::array<TypePick, 16> kMix{{
+    {CellType::kNand2, 0.26},
+    {CellType::kNor2, 0.16},
+    {CellType::kInv, 0.07},
+    {CellType::kAnd2, 0.04},
+    {CellType::kOr2, 0.04},
+    {CellType::kNand3, 0.10},
+    {CellType::kNor3, 0.06},
+    {CellType::kAnd3, 0.02},
+    {CellType::kOr3, 0.02},
+    {CellType::kNand4, 0.03},
+    {CellType::kNor4, 0.02},
+    {CellType::kXor2, 0.05},
+    {CellType::kXnor2, 0.02},
+    {CellType::kMux2, 0.09},
+    {CellType::kBuf, 0.01},
+    {CellType::kAnd4, 0.01},
+}};
+
+CellType pick_type(Rng& rng) {
+  double r = rng.uniform();
+  for (const TypePick& tp : kMix) {
+    if (r < tp.weight) return tp.type;
+    r -= tp.weight;
+  }
+  return CellType::kNand2;
+}
+
+}  // namespace
+
+Netlist generate_soc_netlist(const SocConfig& cfg) {
+  Rng rng(cfg.seed);
+  Netlist nl;
+
+  // Block/domain extents.
+  BlockId max_block = 0;
+  for (const auto& p : cfg.population) max_block = std::max(max_block, p.block);
+  const std::uint16_t num_blocks = static_cast<std::uint16_t>(max_block + 1);
+  nl.set_block_count(num_blocks);
+  nl.set_domain_count(static_cast<std::uint8_t>(cfg.num_domains()));
+
+  // Primary inputs (held constant during test; unregistered, as in the paper).
+  std::vector<NetId> pis;
+  for (std::size_t i = 0; i < cfg.primary_inputs; ++i) {
+    pis.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+
+  // Flop Q nets first so gates can read them; flop records come later once
+  // their D sources exist.
+  struct PendingFlop {
+    NetId q;
+    DomainId domain;
+    BlockId block;
+  };
+  std::vector<PendingFlop> flops;
+  std::vector<std::vector<NetId>> block_sigs(num_blocks);
+  std::vector<NetId> all_sigs;
+  for (const auto& p : cfg.population) {
+    for (std::size_t i = 0; i < p.flops; ++i) {
+      const NetId q =
+          nl.add_net("q_b" + std::to_string(p.block) + "_" +
+                     std::to_string(flops.size()));
+      flops.push_back(PendingFlop{q, p.domain, p.block});
+      block_sigs[p.block].push_back(q);
+      all_sigs.push_back(q);
+    }
+  }
+
+  // Combinational clouds, generated in interleaved slices so cross-block
+  // references span all blocks in both directions.
+  std::vector<std::size_t> budget(num_blocks, 0);
+  for (const auto& p : cfg.population) {
+    budget[p.block] += static_cast<std::size_t>(
+        std::round(static_cast<double>(p.flops) * cfg.gates_per_flop));
+  }
+  std::vector<std::vector<NetId>> block_gate_outs(num_blocks);
+  std::vector<std::uint8_t> used;  // per net: consumed as an input
+  used.assign(nl.num_nets() + 1, 0);
+  auto note_used = [&](NetId n) {
+    if (n >= used.size()) used.resize(n + 1, 0);
+    used[n] = 1;
+  };
+
+  // Track a creation-time logic level per signal so side inputs can be
+  // level-matched. Synthesized logic is arrival-balanced by the timing
+  // engine; without this, every gate would mix level-0 and level-30 signals
+  // and the timing simulation would drown in hazard pulses.
+  std::vector<std::uint32_t> sig_level;
+  sig_level.assign(nl.num_nets() + 1, 0);
+  auto level_of = [&](NetId n) {
+    return n < sig_level.size() ? sig_level[n] : 0u;
+  };
+  auto note_level = [&](NetId n, std::uint32_t lvl) {
+    if (n >= sig_level.size()) sig_level.resize(n + 1, 0);
+    sig_level[n] = lvl;
+  };
+  // Per block: nets bucketed by level.
+  std::vector<std::vector<std::vector<NetId>>> block_levels(num_blocks);
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    block_levels[b].resize(1);
+    block_levels[b][0] = block_sigs[b];  // flop Qs at level 0
+  }
+
+  const double depth_bias = 2.2;  // recency-bias exponent: higher => deeper
+  auto pick_block_signal = [&](BlockId b) -> NetId {
+    const auto& sigs = block_sigs[b];
+    const double u = std::pow(rng.uniform(), depth_bias);
+    const std::size_t idx =
+        sigs.size() - 1 -
+        static_cast<std::size_t>(u * static_cast<double>(sigs.size() - 1));
+    return sigs[idx];
+  };
+  // Side input near a target level (keeps gate input arrivals aligned).
+  auto pick_near_level = [&](BlockId b, std::uint32_t target) -> NetId {
+    const auto& levels = block_levels[b];
+    const std::uint32_t max_lvl =
+        static_cast<std::uint32_t>(levels.size()) - 1;
+    const std::uint32_t lo = target > 3 ? target - 3 : 0;
+    const std::uint32_t hi = std::min(target, max_lvl);
+    for (int attempt = 0; attempt < 6; ++attempt) {
+      const std::uint32_t lvl =
+          lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));
+      if (!levels[lvl].empty()) {
+        return levels[lvl][rng.below(levels[lvl].size())];
+      }
+    }
+    return pick_block_signal(b);
+  };
+
+  bool work_left = true;
+  std::size_t slice = 0;
+  while (work_left) {
+    work_left = false;
+    ++slice;
+    for (BlockId b = 0; b < num_blocks; ++b) {
+      if (budget[b] == 0) continue;
+      work_left = true;
+      const std::size_t chunk = std::min<std::size_t>(
+          budget[b], std::max<std::size_t>(1, budget[b] / 8 + 1));
+      for (std::size_t k = 0; k < chunk; ++k) {
+        const CellType t = pick_type(rng);
+        const int arity = num_inputs(t);
+        std::vector<NetId> ins;
+        ins.reserve(static_cast<std::size_t>(arity));
+        for (int a = 0; a < arity; ++a) {
+          NetId pick = kNullId;
+          for (int attempt = 0; attempt < 4; ++attempt) {
+            const double r = rng.uniform();
+            if (r < cfg.pi_fanin_fraction && !pis.empty()) {
+              pick = pis[rng.below(pis.size())];
+            } else if (r < cfg.pi_fanin_fraction + cfg.cross_block_fraction) {
+              pick = all_sigs[rng.below(all_sigs.size())];
+            } else if (a == 0) {
+              // First input sets the gate's depth (recency-biased).
+              pick = pick_block_signal(b);
+            } else {
+              // Side inputs arrive at a similar level to the first input.
+              pick = pick_near_level(b, level_of(ins[0]));
+            }
+            if (std::find(ins.begin(), ins.end(), pick) == ins.end()) break;
+          }
+          ins.push_back(pick);
+        }
+        const NetId out = nl.add_net();
+        nl.add_gate(t, ins, out, b);
+        std::uint32_t out_lvl = 0;
+        for (NetId in : ins) {
+          note_used(in);
+          out_lvl = std::max(out_lvl, level_of(in) + 1);
+        }
+        note_level(out, out_lvl);
+        if (out_lvl >= block_levels[b].size()) {
+          block_levels[b].resize(out_lvl + 1);
+        }
+        block_levels[b][out_lvl].push_back(out);
+        block_sigs[b].push_back(out);
+        block_gate_outs[b].push_back(out);
+        all_sigs.push_back(out);
+      }
+      budget[b] -= chunk;
+    }
+  }
+
+  // Flop D sources: prefer this block's unused gate outputs (keeps the DAG
+  // free of dangling logic), then recency-biased block signals for depth;
+  // a small share of flop-to-flop shift paths.
+  std::vector<std::vector<NetId>> unused_outs(num_blocks);
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    for (NetId n : block_gate_outs[b]) {
+      if (n >= used.size() || !used[n]) unused_outs[b].push_back(n);
+    }
+    rng.shuffle(unused_outs[b]);
+  }
+
+  std::size_t neg_left = std::min(cfg.neg_edge_flops, flops.size());
+  std::size_t flops_left = flops.size();
+  for (const PendingFlop& pf : flops) {
+    NetId d = kNullId;
+    if (!unused_outs[pf.block].empty()) {
+      d = unused_outs[pf.block].back();
+      unused_outs[pf.block].pop_back();
+    } else if (rng.chance(0.05)) {
+      d = flops[rng.below(flops.size())].q;  // shift path
+    } else if (!block_gate_outs[pf.block].empty()) {
+      const auto& outs = block_gate_outs[pf.block];
+      const double u = std::pow(rng.uniform(), depth_bias);
+      d = outs[outs.size() - 1 -
+               static_cast<std::size_t>(u * static_cast<double>(outs.size() - 1))];
+    } else {
+      d = all_sigs[rng.below(all_sigs.size())];
+    }
+    note_used(d);
+    if (rng.chance(cfg.enabled_flop_fraction)) {
+      // Enable-gated register: D = enable ? new_data : Q.
+      const NetId enable = pick_block_signal(pf.block);
+      const NetId mux_out = nl.add_net();
+      const NetId mux_ins[] = {enable, pf.q, d};
+      nl.add_gate(CellType::kMux2, mux_ins, mux_out, pf.block);
+      note_used(enable);
+      note_used(pf.q);
+      d = mux_out;
+      note_used(d);
+    }
+    // Uniform random spread of negative-edge flops over the remainder.
+    const bool neg = neg_left > 0 && rng.below(flops_left) < neg_left;
+    if (neg) --neg_left;
+    --flops_left;
+    nl.add_flop(d, pf.q, pf.domain, pf.block, neg);
+  }
+
+  // Any still-unused outputs become (unstrobed) chip outputs.
+  for (BlockId b = 0; b < num_blocks; ++b) {
+    for (NetId n : unused_outs[b]) nl.mark_output(n);
+  }
+
+  nl.finalize();
+  return nl;
+}
+
+SocDesign build_soc(const SocConfig& cfg, const TechLibrary& lib) {
+  Netlist nl = generate_soc_netlist(cfg);
+  Floorplan fp = Floorplan::turbo_eagle_like(cfg.die_um, cfg.pads_per_rail);
+  Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  Placement pl = Placement::place(nl, fp, rng);
+  Parasitics par = Parasitics::extract(nl, pl, lib);
+  ClockTree ct = ClockTree::synthesize(nl, pl, lib);
+  ScanChains sc = ScanChains::build(nl, pl, cfg.scan_chains);
+  return SocDesign{cfg,           std::move(nl), std::move(fp), std::move(pl),
+                   std::move(par), std::move(ct), std::move(sc)};
+}
+
+}  // namespace scap

@@ -1,0 +1,45 @@
+// Synthetic SOC generation (the library's Turbo-Eagle stand-in).
+//
+// The generator builds a deterministic, block-structured gate-level design
+// with the structural properties the paper's experiments rely on:
+//  - six floorplanned blocks with locality (a block's logic reads mostly its
+//    own signals, with a small cross-block "bus" fraction),
+//  - six clock domains with a dominant chip-wide domain,
+//  - launch paths deep enough that the at-speed switching window spans an
+//    appreciable fraction of the cycle (the paper's "STW ~ half the period"),
+//  - scan flops everywhere, a few negative-edge ones, unobserved outputs
+//    (PIs are unregistered and POs unstrobed during test, as in the paper).
+#pragma once
+
+#include "layout/clock_tree.h"
+#include "layout/floorplan.h"
+#include "layout/parasitics.h"
+#include "layout/placement.h"
+#include "netlist/netlist.h"
+#include "netlist/tech_library.h"
+#include "soc/scan_chains.h"
+#include "soc/soc_config.h"
+
+namespace scap {
+
+struct SocDesign {
+  SocConfig config;
+  Netlist netlist;
+  Floorplan floorplan;
+  Placement placement;
+  Parasitics parasitics;
+  ClockTree clock_tree;
+  ScanChains scan;
+
+  DomainId dominant_domain() const { return 0; }
+  double period_ns(DomainId d) const { return config.period_ns(d); }
+};
+
+/// Generate just the netlist (no physical design) -- used by unit tests.
+Netlist generate_soc_netlist(const SocConfig& cfg);
+
+/// Full flow: netlist, floorplan, placement, extraction, CTS, scan stitch.
+SocDesign build_soc(const SocConfig& cfg,
+                    const TechLibrary& lib = TechLibrary::generic180());
+
+}  // namespace scap

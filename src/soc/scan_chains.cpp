@@ -1,0 +1,85 @@
+#include "soc/scan_chains.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scap {
+
+std::size_t ScanChains::max_chain_length() const {
+  std::size_t m = 0;
+  for (const auto& c : chains) m = std::max(m, c.size());
+  return m;
+}
+
+double ScanChains::wirelength_um(const Placement& pl) const {
+  double total = 0.0;
+  for (const auto& chain : chains) {
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      total += manhattan(pl.flop_pos(chain[i - 1]), pl.flop_pos(chain[i]));
+    }
+  }
+  return total;
+}
+
+ScanChains ScanChains::build(const Netlist& nl, const Placement& pl,
+                             std::size_t num_chains) {
+  ScanChains sc;
+  sc.chains.resize(num_chains);
+
+  std::vector<FlopId> neg, pos;
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    (nl.flop(f).neg_edge ? neg : pos).push_back(f);
+  }
+
+  // Serpentine order: horizontal bands swept bottom-to-top, alternating
+  // left/right, approximating a wirelength-minimizing reorder.
+  auto serpentine = [&](std::vector<FlopId>& flops) {
+    if (flops.empty()) return;
+    double ymin = pl.flop_pos(flops[0]).y, ymax = ymin;
+    for (FlopId f : flops) {
+      ymin = std::min(ymin, pl.flop_pos(f).y);
+      ymax = std::max(ymax, pl.flop_pos(f).y);
+    }
+    const int bands = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(flops.size()))));
+    const double band_h = (ymax - ymin) / bands + 1e-9;
+    std::sort(flops.begin(), flops.end(), [&](FlopId a, FlopId b) {
+      const Point pa = pl.flop_pos(a), pb = pl.flop_pos(b);
+      const int ba = static_cast<int>((pa.y - ymin) / band_h);
+      const int bb = static_cast<int>((pb.y - ymin) / band_h);
+      if (ba != bb) return ba < bb;
+      return (ba % 2 == 0) ? pa.x < pb.x : pa.x > pb.x;
+    });
+  };
+
+  // Chain 0: negative-edge flops (the paper places them on a separate chain).
+  serpentine(neg);
+  sc.chains[0] = std::move(neg);
+
+  // Remaining flops: one global serpentine, sliced into contiguous chains so
+  // each chain stays spatially compact. With a single chain, the positive-
+  // edge cells follow the negative-edge segment on chain 0.
+  serpentine(pos);
+  const std::size_t data_chains = num_chains > 1 ? num_chains - 1 : 1;
+  const std::size_t per_chain = (pos.size() + data_chains - 1) / data_chains;
+  for (std::size_t c = 0; c < data_chains; ++c) {
+    const std::size_t lo = c * per_chain;
+    const std::size_t hi = std::min(pos.size(), lo + per_chain);
+    if (lo >= hi) break;
+    auto& chain = sc.chains[num_chains > 1 ? c + 1 : 0];
+    chain.insert(chain.end(), pos.begin() + static_cast<std::ptrdiff_t>(lo),
+                 pos.begin() + static_cast<std::ptrdiff_t>(hi));
+  }
+
+  sc.chain_index_.assign(nl.num_flops(), 0);
+  sc.chain_position_.assign(nl.num_flops(), 0);
+  for (std::size_t c = 0; c < sc.chains.size(); ++c) {
+    for (std::size_t i = 0; i < sc.chains[c].size(); ++i) {
+      sc.chain_index_[sc.chains[c][i]] = static_cast<std::uint32_t>(c);
+      sc.chain_position_[sc.chains[c][i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  return sc;
+}
+
+}  // namespace scap

@@ -1,0 +1,35 @@
+// Scan-chain construction.
+//
+// Mirrors the paper's DFT setup: a fixed number of chains, negative-edge
+// flops segregated onto their own chain, and location-aware cell ordering
+// (the physical design flow reorders scan cells to minimize chain
+// wirelength; we approximate with a serpentine sweep over the placement).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "layout/placement.h"
+#include "netlist/netlist.h"
+
+namespace scap {
+
+struct ScanChains {
+  /// chains[c] lists flops in shift order (scan-in first).
+  std::vector<std::vector<FlopId>> chains;
+
+  std::size_t chain_of(FlopId f) const { return chain_index_[f]; }
+  std::size_t position_of(FlopId f) const { return chain_position_[f]; }
+  std::size_t max_chain_length() const;
+  /// Total chain routing length under the placement [um].
+  double wirelength_um(const Placement& pl) const;
+
+  static ScanChains build(const Netlist& nl, const Placement& pl,
+                          std::size_t num_chains);
+
+ private:
+  std::vector<std::uint32_t> chain_index_;
+  std::vector<std::uint32_t> chain_position_;
+};
+
+}  // namespace scap

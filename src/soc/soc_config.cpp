@@ -1,0 +1,57 @@
+#include "soc/soc_config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scap {
+
+namespace {
+
+std::size_t scaled(double base, double scale) {
+  return static_cast<std::size_t>(std::max(4.0, std::round(base * scale)));
+}
+
+}  // namespace
+
+SocConfig SocConfig::turbo_eagle_scaled(double scale) {
+  SocConfig cfg;
+  // Domains: clka..clkf = 0..5. clka is the dominant 100 MHz master clock
+  // spanning every block (paper Table 2: ~18K of ~23K flops).
+  cfg.domain_freq_mhz = {100.0, 48.0, 24.0, 12.0, 48.0, 33.0};
+  cfg.population = {
+      // clka across all six blocks; B5 is the big central consumer.
+      {0, 0, scaled(2200, scale)},  // B1
+      {0, 1, scaled(2000, scale)},  // B2
+      {0, 2, scaled(2400, scale)},  // B3
+      {0, 3, scaled(1800, scale)},  // B4
+      {0, 4, scaled(7200, scale)},  // B5
+      {0, 5, scaled(2400, scale)},  // B6
+      // Side domains, one or two blocks each (paper Table 2 shape).
+      {1, 0, scaled(1300, scale)},  // clkb -> B1
+      {2, 2, scaled(1100, scale)},  // clkc -> B3
+      {3, 5, scaled(700, scale)},   // clkd -> B6
+      {4, 5, scaled(900, scale)},   // clke -> B6
+      {5, 1, scaled(1000, scale)},  // clkf -> B2
+  };
+  cfg.neg_edge_flops = std::max<std::size_t>(2, scaled(22, scale));
+  return cfg;
+}
+
+SocConfig SocConfig::tiny(std::uint64_t seed) {
+  SocConfig cfg;
+  cfg.seed = seed;
+  cfg.die_um = 600.0;
+  cfg.pads_per_rail = 8;
+  cfg.scan_chains = 4;
+  cfg.neg_edge_flops = 2;
+  cfg.primary_inputs = 6;
+  cfg.gates_per_flop = 5.0;
+  cfg.domain_freq_mhz = {100.0, 33.0};
+  cfg.population = {
+      {0, 0, 20}, {0, 1, 16}, {0, 2, 18}, {0, 3, 14}, {0, 4, 60}, {0, 5, 20},
+      {1, 0, 12},
+  };
+  return cfg;
+}
+
+}  // namespace scap

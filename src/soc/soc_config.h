@@ -1,0 +1,66 @@
+// Configuration of the synthetic SOC (the library's Turbo-Eagle stand-in).
+//
+// Defaults reproduce the *structure* of the paper's Tables 1 and 2 at a
+// configurable scale: six blocks B1..B6 on the Figure-1 floorplan, six clock
+// domains with clka dominant (covering all blocks, ~78% of the flops, the
+// 100 MHz master-processor clock), per-block side domains (clkb: B1,
+// clkc: B3, clkd: B6, clke: B6, clkf: B2), 16 scan chains, a handful of
+// negative-edge flops on their own chain, and a 10 MHz shift clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace scap {
+
+struct SocConfig {
+  struct Population {
+    DomainId domain;
+    BlockId block;
+    std::size_t flops;
+  };
+
+  double die_um = 3000.0;
+  std::size_t pads_per_rail = 37;
+  std::size_t scan_chains = 16;
+  std::size_t neg_edge_flops = 22;
+  std::size_t primary_inputs = 32;
+  double gates_per_flop = 6.0;
+  /// Fraction of flops built as enable-gated registers (D = en ? data : Q).
+  /// Real SOCs hold most registers most cycles; without this every random
+  /// scan state would flip ~half the flops at launch.
+  double enabled_flop_fraction = 0.60;
+  double cross_block_fraction = 0.015;  ///< inputs taken from other blocks (bus-class coupling)
+  double pi_fanin_fraction = 0.01;     ///< gate inputs fed by chip pins
+  double shift_mhz = 10.0;
+  /// Tester cycle T for the CAP model [ns]. The launch-capture pulse pair
+  /// runs at the domain's functional speed inside this window (the paper
+  /// reports STW 8.34 ns against a 20 ns tester cycle).
+  double tester_period_ns = 20.0;
+  std::uint64_t seed = 2007;
+
+  /// Flop population per (domain, block) pair.
+  std::vector<Population> population;
+  /// Clock frequency per domain [MHz] (index = DomainId).
+  std::vector<double> domain_freq_mhz;
+
+  std::size_t total_flops() const {
+    std::size_t n = 0;
+    for (const auto& p : population) n += p.flops;
+    return n;
+  }
+  std::size_t num_domains() const { return domain_freq_mhz.size(); }
+  double period_ns(DomainId d) const { return 1000.0 / domain_freq_mhz[d]; }
+
+  /// Paper-shaped SOC scaled by `scale` (1.0 would be the full ~23K-flop
+  /// design; the default experiments use 0.1 => ~2.3K flops).
+  static SocConfig turbo_eagle_scaled(double scale = 0.1);
+
+  /// Tiny configuration for unit tests.
+  static SocConfig tiny(std::uint64_t seed = 11);
+};
+
+}  // namespace scap

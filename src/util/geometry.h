@@ -1,0 +1,58 @@
+// Planar geometry primitives used by floorplanning, placement and the
+// power-grid mesh. Units are microns throughout the library.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace scap {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+
+inline double manhattan(Point a, Point b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double euclidean(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Axis-aligned rectangle, [lo, hi) semantics on both axes.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  constexpr double width() const { return x1 - x0; }
+  constexpr double height() const { return y1 - y0; }
+  constexpr double area() const { return width() * height(); }
+  constexpr Point center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+
+  constexpr bool contains(Point p) const {
+    return p.x >= x0 && p.x < x1 && p.y >= y0 && p.y < y1;
+  }
+
+  constexpr bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// Clamp a point into the rectangle (closed at the upper edge).
+  constexpr Point clamp(Point p) const {
+    return {std::clamp(p.x, x0, x1), std::clamp(p.y, y0, y1)};
+  }
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace scap

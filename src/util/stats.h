@@ -1,0 +1,94 @@
+// Small statistics helpers shared by the power analyses and the benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace scap {
+
+/// Single-pass accumulator for mean / min / max / stddev.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-quantile (q in [0,1]) by linear interpolation; copies + sorts.
+inline double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+inline double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double max_of(std::span<const double> xs) {
+  double m = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    m = first ? x : std::max(m, x);
+    first = false;
+  }
+  return m;
+}
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> bins;
+
+  Histogram(double lo_, double hi_, std::size_t nbins)
+      : lo(lo_), hi(hi_), bins(nbins, 0) {}
+
+  void add(double x) {
+    const double t = (x - lo) / (hi - lo);
+    auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(bins.size()));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins.size()) - 1);
+    ++bins[static_cast<std::size_t>(idx)];
+  }
+
+  std::size_t total() const {
+    std::size_t s = 0;
+    for (auto b : bins) s += b;
+    return s;
+  }
+};
+
+}  // namespace scap

@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harness and examples.
+//
+// Benches regenerate the paper's tables; TextTable keeps their stdout output
+// aligned and diff-friendly without pulling in a formatting dependency.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace scap {
+
+class TextTable {
+ public:
+  /// Begin a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; missing trailing cells render empty, extras are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Render with column alignment, header rule, and optional title.
+  std::string render(const std::string& title = {}) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scap

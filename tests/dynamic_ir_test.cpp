@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "atpg/context.h"
+#include "core/pattern_sim.h"
+#include "power/dynamic_ir.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+struct DynRig {
+  const SocDesign& soc = test::tiny_soc();
+  const TechLibrary& lib = TechLibrary::generic180();
+  PowerGrid grid{soc.floorplan};
+  TestContext ctx = TestContext::for_domain(soc.netlist, 0);
+  PatternAnalyzer analyzer{soc, lib};
+
+  PatternAnalysis analyze_random(std::uint64_t seed) {
+    Rng rng(seed);
+    Pattern p;
+    p.s1.resize(soc.netlist.num_flops());
+    for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+    return analyzer.analyze(ctx, p);
+  }
+
+  DynamicIrReport ir_of(const SimTrace& trace, bool clock = true) {
+    DynamicIrOptions opt;
+    opt.include_clock_tree = clock;
+    return analyze_pattern_ir(soc.netlist, soc.placement, soc.parasitics, lib,
+                              soc.floorplan, grid, trace, &soc.clock_tree,
+                              ctx.domain, opt);
+  }
+};
+
+TEST(DynamicIr, ActivePatternProducesDrop) {
+  DynRig rig;
+  const auto pa = rig.analyze_random(1);
+  ASSERT_GT(pa.trace.toggles.size(), 0u);
+  const auto rep = rig.ir_of(pa.trace);
+  EXPECT_GT(rep.worst_vdd_v, 0.0);
+  EXPECT_GT(rep.worst_vss_v, 0.0);
+  EXPECT_DOUBLE_EQ(rep.window_ns, pa.trace.stw_ns());
+}
+
+TEST(DynamicIr, QuietTraceOnlyClockCurrent) {
+  DynRig rig;
+  SimTrace quiet;
+  quiet.last_toggle_ns = 5.0;
+  const auto with_clock = rig.ir_of(quiet, true);
+  const auto without = rig.ir_of(quiet, false);
+  EXPECT_GT(with_clock.worst_vdd_v, 0.0);  // clock tree still switches
+  EXPECT_DOUBLE_EQ(without.worst_vdd_v, 0.0);
+}
+
+TEST(DynamicIr, MoreSwitchingMoreDrop) {
+  DynRig rig;
+  // Find a relatively quiet and a relatively loud random pattern.
+  PatternAnalysis loud = rig.analyze_random(1);
+  PatternAnalysis soft = loud;
+  for (std::uint64_t seed = 2; seed < 10; ++seed) {
+    PatternAnalysis pa = rig.analyze_random(seed);
+    if (pa.trace.toggles.size() > loud.trace.toggles.size()) loud = pa;
+    if (pa.trace.toggles.size() < soft.trace.toggles.size()) soft = pa;
+  }
+  ASSERT_GT(loud.trace.toggles.size(), soft.trace.toggles.size());
+  const auto ir_loud = rig.ir_of(loud.trace, false);
+  const auto ir_soft = rig.ir_of(soft.trace, false);
+  EXPECT_GT(ir_loud.worst_vdd_v, 0.0);
+  // Not strictly monotone in toggle count (placement matters), but a 1.3x
+  // toggle margin should show up in the rail.
+  if (loud.trace.toggles.size() >
+      soft.trace.toggles.size() + soft.trace.toggles.size() / 3) {
+    EXPECT_GT(ir_loud.worst_vdd_v, ir_soft.worst_vdd_v);
+  }
+}
+
+TEST(DynamicIr, DroopVectorsMatchSolutions) {
+  DynRig rig;
+  const auto pa = rig.analyze_random(3);
+  const auto rep = rig.ir_of(pa.trace);
+  ASSERT_EQ(rep.gate_droop_v.size(), rig.soc.netlist.num_gates());
+  ASSERT_EQ(rep.flop_droop_v.size(), rig.soc.netlist.num_flops());
+  for (GateId g = 0; g < rig.soc.netlist.num_gates(); g += 17) {
+    const Point p = rig.soc.placement.gate_pos(g);
+    EXPECT_NEAR(rep.gate_droop_v[g],
+                rep.vdd_solution.drop_at(p) + rep.vss_solution.drop_at(p),
+                1e-12);
+  }
+}
+
+TEST(DynamicIr, BlockSummariesConsistent) {
+  DynRig rig;
+  const auto pa = rig.analyze_random(4);
+  const auto rep = rig.ir_of(pa.trace);
+  ASSERT_EQ(rep.block_worst_vdd_v.size(), rig.soc.netlist.block_count());
+  for (std::size_t b = 0; b < rep.block_worst_vdd_v.size(); ++b) {
+    EXPECT_LE(rep.block_avg_vdd_v[b], rep.block_worst_vdd_v[b] + 1e-12);
+    EXPECT_LE(rep.block_worst_vdd_v[b], rep.worst_vdd_v + 1e-12);
+  }
+}
+
+TEST(DynamicIr, ShorterWindowMeansMoreDrop) {
+  // Same toggles crammed into half the window draw twice the current.
+  DynRig rig;
+  const auto pa = rig.analyze_random(5);
+  SimTrace squeezed = pa.trace;
+  squeezed.last_toggle_ns =
+      pa.trace.first_toggle_ns + pa.trace.stw_ns() / 2.0;
+  const auto normal = rig.ir_of(pa.trace, false);
+  const auto tight = rig.ir_of(squeezed, false);
+  EXPECT_NEAR(tight.worst_vdd_v, 2.0 * normal.worst_vdd_v,
+              0.02 * tight.worst_vdd_v);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "atpg/fault_sim.h"
+#include "sim/logic_sim.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+/// Slow, obviously-correct reference: scalar two-frame simulation with the
+/// fault injected by brute-force re-evaluation of the whole frame-2 netlist.
+bool reference_detects(const Netlist& nl, const TestContext& ctx,
+                       const Pattern& p, const TdfFault& fault) {
+  LogicSim sim(nl);
+  std::vector<std::uint8_t> f1;
+  sim.eval_frame(p.s1, ctx.pi_values, f1);
+  std::vector<std::uint8_t> s2(nl.num_flops());
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    s2[f] = ctx.active[f] ? f1[nl.flop(f).d] : p.s1[f];
+  }
+  std::vector<std::uint8_t> g2;
+  sim.eval_frame(s2, ctx.pi_values, g2);
+
+  // Launch condition.
+  if (f1[fault.net] != fault.v1() || g2[fault.net] != fault.v2()) return false;
+  if (fault.site == FaultSite::kFlopBranch) return ctx.active[fault.load];
+
+  // Faulty frame 2: evaluate with the stuck value injected.
+  std::vector<std::uint8_t> x2(nl.num_nets());
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i) {
+    x2[nl.primary_inputs()[i]] = ctx.pi_values[i];
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) x2[nl.flop(f).q] = s2[f];
+  if (fault.site == FaultSite::kStem) {
+    x2[fault.net] = static_cast<std::uint8_t>(fault.v1());
+  }
+  std::array<std::uint8_t, 4> ins{};
+  for (GateId g : nl.topo_order()) {
+    const auto in_nets = nl.gate_inputs(g);
+    for (std::size_t i = 0; i < in_nets.size(); ++i) {
+      ins[i] = x2[in_nets[i]];
+      if (fault.site == FaultSite::kGateBranch && fault.load == g &&
+          fault.pin == i) {
+        ins[i] = static_cast<std::uint8_t>(fault.v1());
+      }
+    }
+    std::uint8_t out = eval_scalar(
+        nl.gate(g).type, std::span<const std::uint8_t>(ins.data(), in_nets.size()));
+    const NetId onet = nl.gate(g).out;
+    if (fault.site == FaultSite::kStem && onet == fault.net) {
+      out = static_cast<std::uint8_t>(fault.v1());
+    }
+    x2[onet] = out;
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (!ctx.active[f]) continue;
+    if (x2[nl.flop(f).d] != g2[nl.flop(f).d]) return true;
+  }
+  return false;
+}
+
+struct SimRig {
+  const Netlist& nl = test::tiny_soc().netlist;
+  TestContext ctx = TestContext::for_domain(nl, 0);
+  std::vector<TdfFault> faults = collapse_faults(nl, enumerate_faults(nl));
+
+  std::vector<Pattern> random_patterns(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Pattern> pats(n);
+    for (auto& p : pats) {
+      p.s1.resize(nl.num_flops());
+      for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+    }
+    return pats;
+  }
+};
+
+TEST(FaultSim, MatchesScalarReference) {
+  SimRig rig;
+  const auto pats = rig.random_patterns(64, 77);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  fsim.load_batch(pats);
+  Rng rng(5);
+  // Sample faults across the whole list.
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto& fault = rig.faults[rng.below(rig.faults.size())];
+    const std::uint64_t mask = fsim.detect_mask(fault);
+    for (int lane : {0, 13, 40, 63}) {
+      const bool expected = reference_detects(rig.nl, rig.ctx, pats[lane], fault);
+      ASSERT_EQ((mask >> lane) & 1, expected ? 1u : 0u)
+          << describe_fault(rig.nl, fault) << " lane " << lane;
+    }
+  }
+}
+
+TEST(FaultSim, NoLaunchNoDetection) {
+  SimRig rig;
+  // All-zero state: frame-1 value of any net equals... whatever it settles
+  // to; a fault whose site holds the same value in both frames cannot launch.
+  const auto pats = rig.random_patterns(1, 3);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  fsim.load_batch(pats);
+  LogicSim sim(rig.nl);
+  std::vector<std::uint8_t> f1;
+  sim.eval_frame(pats[0].s1, rig.ctx.pi_values, f1);
+  std::vector<std::uint8_t> s2(rig.nl.num_flops());
+  for (FlopId f = 0; f < rig.nl.num_flops(); ++f) {
+    s2[f] = rig.ctx.active[f] ? f1[rig.nl.flop(f).d] : pats[0].s1[f];
+  }
+  std::vector<std::uint8_t> g2;
+  sim.eval_frame(s2, rig.ctx.pi_values, g2);
+  int checked = 0;
+  for (const auto& fault : rig.faults) {
+    if (f1[fault.net] == g2[fault.net]) {  // no transition at the site
+      EXPECT_EQ(fsim.detect_mask(fault) & 1, 0u)
+          << describe_fault(rig.nl, fault);
+      if (++checked > 200) break;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(FaultSim, FlopBranchDetectedOnLaunchAlone) {
+  SimRig rig;
+  const auto pats = rig.random_patterns(64, 9);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  fsim.load_batch(pats);
+  int found = 0;
+  // Collapsing folds most flop-branch faults into their stems; check the
+  // uncollapsed universe.
+  const auto universe = enumerate_faults(rig.nl);
+  for (const auto& fault : universe) {
+    if (fault.site != FaultSite::kFlopBranch) continue;
+    const std::uint64_t mask = fsim.detect_mask(fault);
+    for (int lane = 0; lane < 64 && found < 50; ++lane) {
+      const bool expected = reference_detects(rig.nl, rig.ctx, pats[lane], fault);
+      ASSERT_EQ((mask >> lane) & 1, expected ? 1u : 0u);
+      ++found;
+    }
+    if (found >= 50) break;
+  }
+  EXPECT_GT(found, 0);
+}
+
+TEST(FaultSim, InactiveDomainFlopsDoNotObserve) {
+  SimRig rig;
+  // Test context for domain 1 (the tiny SOC's second domain).
+  const TestContext ctx1 = TestContext::for_domain(rig.nl, 1);
+  FaultSimulator fsim(rig.nl, ctx1);
+  const auto pats = rig.random_patterns(64, 10);
+  fsim.load_batch(pats);
+  // A flop-branch fault on a domain-0 flop cannot be observed in a domain-1
+  // test session.
+  for (const auto& fault : rig.faults) {
+    if (fault.site == FaultSite::kFlopBranch &&
+        rig.nl.flop(fault.load).domain == 0) {
+      EXPECT_EQ(fsim.detect_mask(fault), 0u);
+      break;
+    }
+  }
+}
+
+TEST(FaultSim, GradeDropsAndCredits) {
+  SimRig rig;
+  const auto pats = rig.random_patterns(150, 11);  // spans 3 batches
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  std::vector<std::size_t> per_pattern;
+  const auto first = fsim.grade(pats, rig.faults, &per_pattern);
+
+  ASSERT_EQ(per_pattern.size(), pats.size());
+  std::size_t detected = 0;
+  for (auto idx : first) detected += (idx != FaultSimulator::kUndetected);
+  std::size_t credited = 0;
+  for (auto c : per_pattern) credited += c;
+  EXPECT_EQ(detected, credited);
+  EXPECT_GT(detected, rig.faults.size() / 4);
+  // First-detection indices must be valid pattern indices.
+  for (auto idx : first) {
+    if (idx != FaultSimulator::kUndetected) EXPECT_LT(idx, pats.size());
+  }
+}
+
+TEST(FaultSim, GradeIsMonotoneInPatternCount) {
+  SimRig rig;
+  const auto pats = rig.random_patterns(128, 12);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  const auto first64 = fsim.grade(std::span<const Pattern>(pats).first(64),
+                                  rig.faults, nullptr);
+  const auto first128 = fsim.grade(pats, rig.faults, nullptr);
+  std::size_t d64 = 0, d128 = 0;
+  for (auto i : first64) d64 += (i != FaultSimulator::kUndetected);
+  for (auto i : first128) d128 += (i != FaultSimulator::kUndetected);
+  EXPECT_GE(d128, d64);
+  // The first 64 patterns give identical first-detect indices in both runs.
+  for (std::size_t i = 0; i < rig.faults.size(); ++i) {
+    if (first64[i] != FaultSimulator::kUndetected) {
+      EXPECT_EQ(first128[i], first64[i]);
+    }
+  }
+}
+
+TEST(FaultSim, PartialBatchMasksHighLanes) {
+  SimRig rig;
+  const auto pats = rig.random_patterns(5, 13);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  fsim.load_batch(pats);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto& fault = rig.faults[static_cast<std::size_t>(trial) * 37 %
+                                   rig.faults.size()];
+    EXPECT_EQ(fsim.detect_mask(fault) & ~0x1full, 0u)
+        << "lanes beyond the batch must stay clear";
+  }
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "atpg/fault.h"
+#include "test_helpers.h"
+
+namespace scap {
+namespace {
+
+TEST(FaultModel, EnumerationCountsTiny) {
+  Netlist nl = test::tiny_netlist();
+  const auto faults = enumerate_faults(nl);
+  // Per gate: output stem + per-pin branches; per flop: Q stem + D branch.
+  // 2 NAND2 gates: 2*(1+2) sites; 3 flops: 3*(1+1) sites; times 2 types.
+  EXPECT_EQ(faults.size(), 2u * (2u * 3u + 3u * 2u));
+}
+
+TEST(FaultModel, EveryFaultHasBothPolarities) {
+  Netlist nl = test::tiny_netlist();
+  const auto faults = enumerate_faults(nl);
+  std::size_t str = 0, stf = 0;
+  for (const auto& f : faults) {
+    (f.type == TdfType::kSlowToRise ? str : stf) += 1;
+  }
+  EXPECT_EQ(str, stf);
+}
+
+TEST(FaultModel, V1V2Polarity) {
+  TdfFault f;
+  f.type = TdfType::kSlowToRise;
+  EXPECT_EQ(f.v1(), 0);
+  EXPECT_EQ(f.v2(), 1);
+  f.type = TdfType::kSlowToFall;
+  EXPECT_EQ(f.v1(), 1);
+  EXPECT_EQ(f.v2(), 0);
+}
+
+TEST(FaultCollapse, RemovesSingleFanoutBranches) {
+  Netlist nl = test::tiny_netlist();
+  const auto all = enumerate_faults(nl);
+  const auto collapsed = collapse_faults(nl, all);
+  EXPECT_LT(collapsed.size(), all.size());
+  // n1 feeds gate1 pin0 AND flop0 (two loads) -> its branches survive.
+  const NetId n1 = nl.gate(0).out;
+  std::size_t n1_branches = 0;
+  for (const auto& f : collapsed) {
+    if (f.net == n1 && f.site != FaultSite::kStem) ++n1_branches;
+  }
+  EXPECT_EQ(n1_branches, 4u);  // gate branch + flop branch, both polarities
+  // pi0 feeds only gate1 pin1 (single load) -> branch collapsed into stem...
+  // but pi0 has no stem fault (no gate/flop driver enumerates it), so the
+  // branch fault must survive collapsing.
+  const NetId pi0 = nl.primary_inputs()[0];
+  std::size_t pi_faults = 0;
+  for (const auto& f : collapsed) pi_faults += (f.net == pi0);
+  EXPECT_EQ(pi_faults, 2u);
+}
+
+TEST(FaultCollapse, DropsBufInvOutputStems) {
+  Netlist nl;
+  const NetId q = nl.add_net("q");
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  const NetId ins[] = {q};
+  nl.add_gate(CellType::kInv, ins, a);
+  const NetId ins2[] = {a};
+  nl.add_gate(CellType::kBuf, ins2, b);
+  nl.add_flop(b, q, 0, 0);
+  nl.finalize();
+
+  const auto collapsed = collapse_faults(nl, enumerate_faults(nl));
+  for (const auto& f : collapsed) {
+    if (f.site == FaultSite::kStem) {
+      const Net& nr = nl.net(f.net);
+      if (nr.driver_kind == DriverKind::kGate) {
+        const CellType t = nl.gate(nr.driver).type;
+        EXPECT_NE(t, CellType::kInv);
+        EXPECT_NE(t, CellType::kBuf);
+      }
+    }
+  }
+}
+
+TEST(FaultCollapse, KeepsAllNetsCovered) {
+  // Collapsing must never make a net fault-free if it had faults before:
+  // every multi-load net keeps its stem.
+  const Netlist& nl = test::tiny_soc().netlist;
+  const auto collapsed = collapse_faults(nl, enumerate_faults(nl));
+  std::vector<bool> has_fault(nl.num_nets(), false);
+  for (const auto& f : collapsed) has_fault[f.net] = true;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const CellType t = nl.gate(g).type;
+    if (t == CellType::kBuf || t == CellType::kInv) continue;
+    EXPECT_TRUE(has_fault[nl.gate(g).out])
+        << "gate " << g << " output lost all faults";
+  }
+}
+
+TEST(FaultBlock, FollowsSiteLocation) {
+  Netlist nl = test::tiny_netlist();
+  // Stem on gate0's output -> block 0; branch into gate1 -> block 1.
+  TdfFault stem{nl.gate(0).out, FaultSite::kStem, kNullId, 0,
+                TdfType::kSlowToRise};
+  EXPECT_EQ(fault_block(nl, stem), 0);
+  TdfFault branch{nl.gate(0).out, FaultSite::kGateBranch, 1, 0,
+                  TdfType::kSlowToRise};
+  EXPECT_EQ(fault_block(nl, branch), 1);
+  TdfFault fbranch{nl.flop(2).d, FaultSite::kFlopBranch, 2, 0,
+                   TdfType::kSlowToFall};
+  EXPECT_EQ(fault_block(nl, fbranch), 1);
+}
+
+TEST(FaultDescribe, ReadableStrings) {
+  Netlist nl = test::tiny_netlist();
+  TdfFault stem{nl.gate(0).out, FaultSite::kStem, kNullId, 0,
+                TdfType::kSlowToRise};
+  EXPECT_EQ(describe_fault(nl, stem), "n1[STR]");
+  TdfFault branch{nl.gate(0).out, FaultSite::kGateBranch, 1, 0,
+                  TdfType::kSlowToFall};
+  EXPECT_EQ(describe_fault(nl, branch), "n1->g1.0[STF]");
+}
+
+TEST(FaultModel, GeneratedSocScale) {
+  const Netlist& nl = test::tiny_soc().netlist;
+  const auto all = enumerate_faults(nl);
+  const auto collapsed = collapse_faults(nl, all);
+  EXPECT_GT(all.size(), 2 * nl.num_gates());
+  EXPECT_GT(collapsed.size(), all.size() / 2);
+  EXPECT_LT(collapsed.size(), all.size());
+}
+
+}  // namespace
+}  // namespace scap

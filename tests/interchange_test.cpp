@@ -1,0 +1,163 @@
+// Interchange writers: SDF (timing), SPEF (parasitics), pattern text I/O.
+#include <gtest/gtest.h>
+
+#include "atpg/pattern_io.h"
+#include "layout/spef.h"
+#include "sim/sdf.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+TEST(Sdf, HeaderAndOneCellPerGate) {
+  const SocDesign& soc = test::tiny_soc();
+  DelayModel dm(soc.netlist, TechLibrary::generic180(), soc.parasitics);
+  const std::string sdf = to_sdf(soc.netlist, dm, "tiny");
+  EXPECT_NE(sdf.find("(SDFVERSION \"3.0\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(DESIGN \"tiny\")"), std::string::npos);
+  EXPECT_NE(sdf.find("(TIMESCALE 1ns)"), std::string::npos);
+  std::size_t cells = 0, pos = 0;
+  while ((pos = sdf.find("(CELL ", pos)) != std::string::npos) {
+    ++cells;
+    ++pos;
+  }
+  EXPECT_EQ(cells, soc.netlist.num_gates());
+}
+
+TEST(Sdf, IopathsCarryModelDelays) {
+  Netlist nl = test::tiny_netlist();
+  Floorplan fp = Floorplan::turbo_eagle_like(100.0, 4);
+  Rng rng(1);
+  const Placement pl = Placement::place(nl, fp, rng);
+  const Parasitics par = Parasitics::extract(nl, pl, TechLibrary::generic180());
+  DelayModel dm(nl, TechLibrary::generic180(), par);
+  const std::string sdf = to_sdf(nl, dm);
+  // Gate 0's rise delay appears verbatim (4 decimals).
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "(%.4f:", dm.rise_ns(0));
+  EXPECT_NE(sdf.find(buf), std::string::npos) << buf;
+  // One IOPATH per input pin of every gate: tiny netlist has 2 NAND2s.
+  std::size_t iopaths = 0, pos = 0;
+  while ((pos = sdf.find("(IOPATH ", pos)) != std::string::npos) {
+    ++iopaths;
+    ++pos;
+  }
+  EXPECT_EQ(iopaths, 4u);
+}
+
+TEST(Sdf, DroopChangesEmittedDelays) {
+  const SocDesign& soc = test::tiny_soc();
+  const TechLibrary& lib = TechLibrary::generic180();
+  DelayModel dm(soc.netlist, lib, soc.parasitics);
+  const std::string nominal = to_sdf(soc.netlist, dm);
+  std::vector<double> droop(soc.netlist.num_gates(), 0.2);
+  dm.set_droop(lib, droop);
+  const std::string derated = to_sdf(soc.netlist, dm);
+  EXPECT_NE(nominal, derated);
+}
+
+TEST(Spef, HeaderAndOneDnetPerNet) {
+  const SocDesign& soc = test::tiny_soc();
+  const std::string spef = to_spef(soc.netlist, soc.parasitics, "tiny");
+  EXPECT_NE(spef.find("*SPEF \"IEEE 1481-1998\""), std::string::npos);
+  EXPECT_NE(spef.find("*C_UNIT 1 PF"), std::string::npos);
+  std::size_t dnets = 0, pos = 0;
+  while ((pos = spef.find("*D_NET ", pos)) != std::string::npos) {
+    ++dnets;
+    ++pos;
+  }
+  EXPECT_EQ(dnets, soc.netlist.num_nets());
+}
+
+TEST(Spef, CapsMatchExtraction) {
+  Netlist nl = test::tiny_netlist();
+  Floorplan fp = Floorplan::turbo_eagle_like(100.0, 4);
+  Rng rng(1);
+  const Placement pl = Placement::place(nl, fp, rng);
+  const Parasitics par = Parasitics::extract(nl, pl, TechLibrary::generic180());
+  const std::string spef = to_spef(nl, par);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "*D_NET n1 %.6f", par.net_load_pf(4));
+  EXPECT_NE(spef.find(buf), std::string::npos) << buf;
+}
+
+struct PatternIoRig {
+  const SocDesign& soc = test::tiny_soc();
+  TestContext ctx = TestContext::for_domain(soc.netlist, 0);
+
+  PatternSet random_set(std::size_t n, std::uint64_t seed,
+                        const TestContext& c) {
+    Rng rng(seed);
+    PatternSet ps;
+    ps.domain = c.domain;
+    ps.patterns.resize(n);
+    for (auto& p : ps.patterns) {
+      p.s1.resize(c.num_vars());
+      for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+    }
+    return ps;
+  }
+};
+
+TEST(PatternIo, RoundTrip) {
+  PatternIoRig rig;
+  const PatternSet orig = rig.random_set(17, 9, rig.ctx);
+  const std::string text = to_pattern_text(orig, rig.ctx);
+  const PatternSet back = parse_patterns(text, rig.ctx);
+  ASSERT_EQ(back.size(), orig.size());
+  EXPECT_EQ(back.domain, orig.domain);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(back.patterns[i].s1, orig.patterns[i].s1) << "pattern " << i;
+  }
+}
+
+TEST(PatternIo, RoundTripLos) {
+  PatternIoRig rig;
+  const TestContext los =
+      TestContext::for_domain_los(rig.soc.netlist, 0, rig.soc.scan.chains);
+  const PatternSet orig = rig.random_set(5, 10, los);
+  const PatternSet back = parse_patterns(to_pattern_text(orig, los), los);
+  ASSERT_EQ(back.size(), orig.size());
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_EQ(back.patterns[i].s1, orig.patterns[i].s1);
+  }
+}
+
+TEST(PatternIo, SchemeMismatchRejected) {
+  PatternIoRig rig;
+  const TestContext los =
+      TestContext::for_domain_los(rig.soc.netlist, 0, rig.soc.scan.chains);
+  const PatternSet orig = rig.random_set(2, 11, rig.ctx);
+  const std::string text = to_pattern_text(orig, rig.ctx);
+  EXPECT_THROW(parse_patterns(text, los), std::runtime_error);
+}
+
+TEST(PatternIo, WidthMismatchRejected) {
+  PatternIoRig rig;
+  std::string text = "Domain 0;\nScheme LOC;\nVars 3;\nPatterns 1;\n010\n";
+  EXPECT_THROW(parse_patterns(text, rig.ctx), std::runtime_error);
+}
+
+TEST(PatternIo, BadCharacterRejected) {
+  PatternIoRig rig;
+  std::ostringstream os;
+  os << "Domain 0;\nScheme LOC;\nVars " << rig.ctx.num_vars()
+     << ";\nPatterns 1;\n";
+  std::string row(rig.ctx.num_vars(), '0');
+  row[3] = 'x';
+  os << row << "\n";
+  EXPECT_THROW(parse_patterns(os.str(), rig.ctx), std::runtime_error);
+}
+
+TEST(PatternIo, CountMismatchRejected) {
+  PatternIoRig rig;
+  const PatternSet orig = rig.random_set(3, 12, rig.ctx);
+  std::string text = to_pattern_text(orig, rig.ctx);
+  // Drop the last line.
+  text.erase(text.rfind('\n', text.size() - 2) + 1);
+  EXPECT_THROW(parse_patterns(text, rig.ctx), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "netlist/design_stats.h"
+#include "netlist/netlist.h"
+#include "test_helpers.h"
+
+namespace scap {
+namespace {
+
+TEST(Netlist, TinyTopology) {
+  Netlist nl = test::tiny_netlist();
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_EQ(nl.num_flops(), 3u);
+  EXPECT_EQ(nl.num_nets(), 6u);
+  EXPECT_EQ(nl.primary_inputs().size(), 1u);
+  EXPECT_TRUE(nl.finalized());
+}
+
+TEST(Netlist, Levelization) {
+  Netlist nl = test::tiny_netlist();
+  EXPECT_EQ(nl.gate(0).level, 0u);
+  EXPECT_EQ(nl.gate(1).level, 1u);
+  EXPECT_EQ(nl.max_level(), 1u);
+  ASSERT_EQ(nl.topo_order().size(), 2u);
+  EXPECT_EQ(nl.topo_order()[0], 0u);
+  EXPECT_EQ(nl.topo_order()[1], 1u);
+}
+
+TEST(Netlist, FanoutMaps) {
+  Netlist nl = test::tiny_netlist();
+  // n1 (net 4) feeds gate 1 and flop 0's D.
+  const NetId n1 = nl.gate(0).out;
+  ASSERT_EQ(nl.fanout_gates(n1).size(), 1u);
+  EXPECT_EQ(nl.fanout_gates(n1)[0], 1u);
+  ASSERT_EQ(nl.fanout_flops(n1).size(), 1u);
+  EXPECT_EQ(nl.fanout_flops(n1)[0], 0u);
+  // n2 feeds flops 1 and 2.
+  const NetId n2 = nl.gate(1).out;
+  EXPECT_EQ(nl.fanout_gates(n2).size(), 0u);
+  EXPECT_EQ(nl.fanout_flops(n2).size(), 2u);
+}
+
+TEST(Netlist, GateAppearsOncePerConnectedPin) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  const NetId ins[] = {a, a};  // both pins on the same net
+  nl.add_gate(CellType::kXor2, ins, y);
+  nl.mark_output(y);
+  nl.finalize();
+  EXPECT_EQ(nl.fanout_gates(a).size(), 2u);
+}
+
+TEST(Netlist, ArityMismatchThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  const NetId one[] = {a};
+  EXPECT_THROW(nl.add_gate(CellType::kNand2, one, y), std::runtime_error);
+}
+
+TEST(Netlist, MultipleDriversThrow) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  const NetId ins[] = {a};
+  nl.add_gate(CellType::kInv, ins, y);
+  EXPECT_THROW(nl.add_gate(CellType::kBuf, ins, y), std::runtime_error);
+}
+
+TEST(Netlist, FlopOnDrivenNetThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  const NetId ins[] = {a};
+  nl.add_gate(CellType::kInv, ins, y);
+  EXPECT_THROW(nl.add_flop(a, y, 0, 0), std::runtime_error);
+}
+
+TEST(Netlist, UndrivenNetThrowsAtFinalize) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId floating = nl.add_net("floating");
+  const NetId y = nl.add_net("y");
+  const NetId ins[] = {a, floating};
+  nl.add_gate(CellType::kAnd2, ins, y);
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, CombinationalLoopThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  const NetId ins1[] = {a, y};
+  nl.add_gate(CellType::kAnd2, ins1, x);
+  const NetId ins2[] = {x};
+  nl.add_gate(CellType::kInv, ins2, y);
+  EXPECT_THROW(nl.finalize(), std::runtime_error);
+}
+
+TEST(Netlist, SequentialLoopIsFine) {
+  // Flop feedback (q -> inv -> d) is not a combinational loop.
+  Netlist nl;
+  const NetId q = nl.add_net("q");
+  const NetId d = nl.add_net("d");
+  const NetId ins[] = {q};
+  nl.add_gate(CellType::kInv, ins, d);
+  nl.add_flop(d, q, 0, 0);
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, MutationAfterFinalizeThrows) {
+  Netlist nl = test::tiny_netlist();
+  EXPECT_THROW(nl.add_net("late"), std::runtime_error);
+}
+
+TEST(Netlist, SequentialCellViaAddGateThrows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add_net("y");
+  const NetId ins[] = {a};
+  EXPECT_THROW(nl.add_gate(CellType::kDff, ins, y), std::runtime_error);
+}
+
+TEST(Netlist, FlopsByDomainAndBlock) {
+  Netlist nl = test::tiny_netlist();
+  const auto by_dom = nl.flops_by_domain();
+  ASSERT_EQ(by_dom.size(), 1u);
+  EXPECT_EQ(by_dom[0].size(), 3u);
+  const auto by_blk = nl.flops_by_block();
+  ASSERT_EQ(by_blk.size(), 2u);
+  EXPECT_EQ(by_blk[0].size(), 1u);
+  EXPECT_EQ(by_blk[1].size(), 2u);
+}
+
+TEST(Netlist, GatesPerBlock) {
+  Netlist nl = test::tiny_netlist();
+  const auto gpb = nl.gates_per_block();
+  ASSERT_EQ(gpb.size(), 2u);
+  EXPECT_EQ(gpb[0], 1u);
+  EXPECT_EQ(gpb[1], 1u);
+}
+
+TEST(Netlist, NetNamesDefaultAndExplicit) {
+  Netlist nl;
+  const NetId a = nl.add_input("alpha");
+  const NetId b = nl.add_net();
+  EXPECT_EQ(nl.net_name(a), "alpha");
+  EXPECT_EQ(nl.net_name(b), "n1");
+}
+
+TEST(DesignStats, TinyCounts) {
+  Netlist nl = test::tiny_netlist();
+  const DesignStats s = compute_design_stats(nl);
+  EXPECT_EQ(s.num_gates, 2u);
+  EXPECT_EQ(s.num_flops, 3u);
+  EXPECT_EQ(s.num_neg_edge_flops, 0u);
+  EXPECT_EQ(s.num_clock_domains, 1u);
+  EXPECT_EQ(s.num_blocks, 2u);
+  EXPECT_EQ(s.max_logic_level, 1u);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(CellType::kNand2)], 2u);
+  EXPECT_EQ(s.flops_by_block[1], 2u);
+  const std::string txt = format_design_stats(s);
+  EXPECT_NE(txt.find("gates: 2"), std::string::npos);
+  EXPECT_NE(txt.find("B2=2"), std::string::npos);
+}
+
+TEST(DesignStats, GeneratedSocConsistency) {
+  const SocDesign& soc = test::tiny_soc();
+  const DesignStats s = compute_design_stats(soc.netlist);
+  EXPECT_EQ(s.num_flops, soc.netlist.num_flops());
+  std::size_t dom_sum = 0;
+  for (auto n : s.flops_by_domain) dom_sum += n;
+  EXPECT_EQ(dom_sum, s.num_flops);
+  std::size_t blk_sum = 0;
+  for (auto n : s.flops_by_block) blk_sum += n;
+  EXPECT_EQ(blk_sum, s.num_flops);
+  std::size_t type_sum = 0;
+  for (auto n : s.gates_by_type) type_sum += n;
+  EXPECT_EQ(type_sum, s.num_gates);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "atpg/fault_sim.h"
+#include "atpg/podem.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+/// Confirm a generated cube really detects the fault (fill X with 0s and run
+/// the fault simulator).
+bool cube_detects(const Netlist& nl, const TestContext& ctx,
+                  const TestCube& cube, const TdfFault& fault) {
+  Pattern p;
+  p.s1 = cube.s1;
+  for (auto& b : p.s1) {
+    if (b == kBitX) b = 0;
+  }
+  FaultSimulator fsim(nl, ctx);
+  fsim.load_batch(std::span<const Pattern>(&p, 1));
+  return fsim.detect_mask(fault) != 0;
+}
+
+TEST(Podem, DetectsSimpleStemFault) {
+  Netlist nl = test::tiny_netlist();
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  Podem podem(nl, ctx);
+  // Slow-to-fall on n1 (output of gate 0): frame1 n1=1, frame2 n1=0,
+  // stuck-at-1 must reach a flop.
+  const TdfFault fault{nl.gate(0).out, FaultSite::kStem, kNullId, 0,
+                       TdfType::kSlowToFall};
+  TestCube cube;
+  ASSERT_EQ(podem.generate(fault, cube), PodemStatus::kDetected);
+  EXPECT_TRUE(cube_detects(nl, ctx, cube, fault));
+  EXPECT_GT(cube.care_bits(), 0u);
+}
+
+TEST(Podem, PiConeFaultUntestable) {
+  // PIs are held constant during test: a fault on a PI-driven net can never
+  // launch a transition.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_net("q");
+  const NetId n1 = nl.add_net("n1");
+  const NetId d = nl.add_net("d");
+  const NetId ins[] = {a};
+  nl.add_gate(CellType::kInv, ins, n1);
+  const NetId ins2[] = {n1, q};
+  nl.add_gate(CellType::kAnd2, ins2, d);
+  nl.add_flop(d, q, 0, 0);
+  nl.finalize();
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  Podem podem(nl, ctx);
+  const TdfFault fault{n1, FaultSite::kStem, kNullId, 0, TdfType::kSlowToRise};
+  TestCube cube;
+  EXPECT_EQ(podem.generate(fault, cube), PodemStatus::kUntestable);
+}
+
+TEST(Podem, UnobservableFaultUntestable) {
+  // A fault whose only path of effect leads to a PO (not strobed) and to no
+  // flop is untestable.
+  Netlist nl;
+  const NetId q = nl.add_net("q");
+  const NetId n1 = nl.add_net("n1");
+  const NetId d = nl.add_net("d");
+  const NetId po = nl.add_net("po");
+  const NetId ins[] = {q};
+  nl.add_gate(CellType::kInv, ins, n1);
+  const NetId ins2[] = {n1};
+  nl.add_gate(CellType::kBuf, ins2, po);
+  nl.mark_output(po);
+  const NetId ins3[] = {q};
+  nl.add_gate(CellType::kBuf, ins3, d);
+  nl.add_flop(d, q, 0, 0);
+  nl.finalize();
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  Podem podem(nl, ctx);
+  const TdfFault fault{po, FaultSite::kStem, kNullId, 0, TdfType::kSlowToRise};
+  TestCube cube;
+  EXPECT_EQ(podem.generate(fault, cube), PodemStatus::kUntestable);
+}
+
+TEST(Podem, HeldDomainFaultUntestableInOtherSession) {
+  // tiny_soc has domains 0 and 1. In a domain-0 session, logic fed solely by
+  // held domain-1 flops cannot launch.
+  const Netlist& nl = test::tiny_soc().netlist;
+  const TestContext ctx0 = TestContext::for_domain(nl, 0);
+  Podem podem(nl, ctx0);
+  // Find a domain-1 flop's Q stem fault whose value cannot change between
+  // frames (held). It may still be untestable or testable through domain-0
+  // cones; just assert PODEM terminates with a definite status.
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (nl.flop(f).domain != 1) continue;
+    const TdfFault fault{nl.flop(f).q, FaultSite::kStem, kNullId, 0,
+                         TdfType::kSlowToRise};
+    TestCube cube;
+    EXPECT_EQ(podem.generate(fault, cube), PodemStatus::kUntestable)
+        << "held flop cannot launch a transition on its own Q";
+    break;
+  }
+}
+
+struct PodemRig {
+  const Netlist& nl = test::tiny_soc().netlist;
+  TestContext ctx = TestContext::for_domain(nl, 0);
+  std::vector<TdfFault> faults = collapse_faults(nl, enumerate_faults(nl));
+};
+
+TEST(Podem, GeneratedCubesAlwaysDetectTheirTarget) {
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx, PodemOptions{48});
+  Rng rng(21);
+  int detected = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    const auto& fault = rig.faults[rng.below(rig.faults.size())];
+    TestCube cube;
+    if (podem.generate(fault, cube) == PodemStatus::kDetected) {
+      ++detected;
+      ASSERT_TRUE(cube_detects(rig.nl, rig.ctx, cube, fault))
+          << describe_fault(rig.nl, fault);
+    }
+  }
+  EXPECT_GT(detected, 40);
+}
+
+TEST(Podem, ProbeAgreesWithFaultSimulator) {
+  // Under full assignments the 3-valued implication is exact, so probe()
+  // must agree with the bit-parallel fault simulator on every fault/pattern.
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx);
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  Rng rng(31);
+  std::vector<Pattern> pats(8);
+  for (auto& p : pats) {
+    p.s1.resize(rig.nl.num_flops());
+    for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+  }
+  fsim.load_batch(pats);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto& fault = rig.faults[rng.below(rig.faults.size())];
+    const std::uint64_t mask = fsim.detect_mask(fault);
+    for (std::size_t lane = 0; lane < pats.size(); ++lane) {
+      ASSERT_EQ(podem.probe(fault, pats[lane].s1), ((mask >> lane) & 1) != 0)
+          << describe_fault(rig.nl, fault) << " lane " << lane;
+    }
+  }
+}
+
+TEST(Podem, NoFalseUntestables) {
+  // Any fault PODEM calls untestable must indeed be undetected by a big
+  // random pattern sample.
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx, PodemOptions{48});
+  FaultSimulator fsim(rig.nl, rig.ctx);
+  Rng rng(41);
+  std::vector<Pattern> pats(512);
+  for (auto& p : pats) {
+    p.s1.resize(rig.nl.num_flops());
+    for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+  }
+  const auto first = fsim.grade(pats, rig.faults, nullptr);
+  int unt = 0;
+  for (std::size_t i = 0; i < rig.faults.size(); i += 7) {
+    TestCube cube;
+    if (podem.generate(rig.faults[i], cube) == PodemStatus::kUntestable) {
+      ++unt;
+      EXPECT_EQ(first[i], FaultSimulator::kUndetected)
+          << describe_fault(rig.nl, rig.faults[i])
+          << " claimed untestable but a random pattern detects it";
+    }
+  }
+  EXPECT_GT(unt, 0) << "sample should contain some untestable faults";
+}
+
+TEST(Podem, ExtendMergesCompatibleFaults) {
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx);
+  Rng rng(51);
+  int merged_trials = 0;
+  for (int trial = 0; trial < 20 && merged_trials < 5; ++trial) {
+    const auto& f1 = rig.faults[rng.below(rig.faults.size())];
+    const auto& f2 = rig.faults[rng.below(rig.faults.size())];
+    TestCube c1, c2;
+    if (podem.generate(f1, c1) != PodemStatus::kDetected) continue;
+    if (podem.extend(f2, c2) != PodemStatus::kDetected) continue;
+    ++merged_trials;
+    // The merged cube detects BOTH faults.
+    EXPECT_TRUE(cube_detects(rig.nl, rig.ctx, c2, f1));
+    EXPECT_TRUE(cube_detects(rig.nl, rig.ctx, c2, f2));
+    // The merge only adds assignments, never changes existing care bits.
+    for (std::size_t b = 0; b < c1.s1.size(); ++b) {
+      if (c1.s1[b] != kBitX) EXPECT_EQ(c2.s1[b], c1.s1[b]);
+    }
+  }
+  EXPECT_GE(merged_trials, 3);
+}
+
+TEST(Podem, ExtendFailureRestoresState) {
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx);
+  Rng rng(61);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto& f1 = rig.faults[rng.below(rig.faults.size())];
+    TestCube c1;
+    if (podem.generate(f1, c1) != PodemStatus::kDetected) continue;
+    // Try to extend with faults until one fails; the cube must be unchanged.
+    for (int k = 0; k < 20; ++k) {
+      const auto& f2 = rig.faults[rng.below(rig.faults.size())];
+      TestCube c2;
+      const PodemStatus st = podem.extend(f2, c2);
+      if (st != PodemStatus::kDetected) {
+        EXPECT_EQ(podem.cube().s1, c1.s1);
+        return;
+      }
+      c1 = c2;  // extended; new baseline
+    }
+  }
+  GTEST_SKIP() << "no failing extension found in sample";
+}
+
+TEST(Podem, ClearAssignmentsResets) {
+  PodemRig rig;
+  Podem podem(rig.nl, rig.ctx);
+  TestCube cube;
+  for (const auto& f : rig.faults) {
+    if (podem.generate(f, cube) == PodemStatus::kDetected) break;
+  }
+  podem.clear_assignments();
+  const TestCube after = podem.cube();
+  for (auto b : after.s1) EXPECT_EQ(b, kBitX);
+}
+
+TEST(Podem, AbortedOnTinyBacktrackLimit) {
+  PodemRig rig;
+  Podem strict(rig.nl, rig.ctx, PodemOptions{0});
+  Rng rng(71);
+  int aborted = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto& fault = rig.faults[rng.below(rig.faults.size())];
+    TestCube cube;
+    if (strict.generate(fault, cube) == PodemStatus::kAborted) ++aborted;
+  }
+  EXPECT_GT(aborted, 0) << "a zero-backtrack budget must abort hard faults";
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "layout/floorplan.h"
+#include "power/power_grid.h"
+
+namespace scap {
+namespace {
+
+struct GridRig {
+  Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 8);
+  PowerGridOptions opt;
+  GridRig() {
+    opt.nx = 24;
+    opt.ny = 24;
+  }
+};
+
+TEST(PowerGrid, ZeroCurrentZeroDrop) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const GridSolution sol = grid.solve({}, {}, true);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_DOUBLE_EQ(sol.worst(), 0.0);
+}
+
+TEST(PowerGrid, CenterInjectionDropsMostAtCenter) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point center{500.0, 500.0};
+  const double amps = 0.1;
+  const GridSolution sol =
+      grid.solve(std::span<const Point>(&center, 1),
+                 std::span<const double>(&amps, 1), true);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.worst(), 0.0);
+  // The injection snaps to the nearest mesh node; the bilinear sample at
+  // the exact center is slightly below the nodal worst.
+  EXPECT_GT(sol.drop_at(center), 0.6 * sol.worst());
+  // Drop decays toward the pad ring.
+  EXPECT_LT(sol.drop_at({10.0, 10.0}), 0.5 * sol.worst());
+}
+
+TEST(PowerGrid, Linearity) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p1{300.0, 600.0}, p2{700.0, 200.0};
+  const double i1 = 0.05, i2 = 0.08;
+
+  const GridSolution a = grid.solve(std::span<const Point>(&p1, 1),
+                                    std::span<const double>(&i1, 1), true);
+  const GridSolution b = grid.solve(std::span<const Point>(&p2, 1),
+                                    std::span<const double>(&i2, 1), true);
+  const Point both_p[] = {p1, p2};
+  const double both_i[] = {i1, i2};
+  const GridSolution ab = grid.solve(both_p, both_i, true);
+
+  for (std::size_t i = 0; i < ab.drop_v.size(); i += 37) {
+    EXPECT_NEAR(ab.drop_v[i], a.drop_v[i] + b.drop_v[i], 1e-5);
+  }
+}
+
+TEST(PowerGrid, DropScalesWithCurrent) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p{500.0, 500.0};
+  const double i1 = 0.05, i2 = 0.10;
+  const GridSolution a = grid.solve(std::span<const Point>(&p, 1),
+                                    std::span<const double>(&i1, 1), true);
+  const GridSolution b = grid.solve(std::span<const Point>(&p, 1),
+                                    std::span<const double>(&i2, 1), true);
+  EXPECT_NEAR(b.worst(), 2.0 * a.worst(), 1e-5);
+}
+
+TEST(PowerGrid, VssRailMirrorsVddGeometry) {
+  // Pads alternate positions but both rails cover the ring uniformly; a
+  // centered load must see nearly identical drops on both rails.
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p{500.0, 500.0};
+  const double amps = 0.1;
+  const GridSolution vdd = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), true);
+  const GridSolution vss = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), false);
+  EXPECT_NEAR(vdd.worst(), vss.worst(), 0.05 * vdd.worst());
+}
+
+TEST(PowerGrid, MorePadsLowerDrop) {
+  GridRig rig;
+  PowerGrid sparse(Floorplan::turbo_eagle_like(1000.0, 4), rig.opt);
+  PowerGrid dense(Floorplan::turbo_eagle_like(1000.0, 32), rig.opt);
+  const Point p{500.0, 500.0};
+  const double amps = 0.1;
+  const double d_sparse = sparse
+                              .solve(std::span<const Point>(&p, 1),
+                                     std::span<const double>(&amps, 1), true)
+                              .worst();
+  const double d_dense = dense
+                             .solve(std::span<const Point>(&p, 1),
+                                    std::span<const double>(&amps, 1), true)
+                             .worst();
+  EXPECT_LT(d_dense, d_sparse);
+}
+
+TEST(GridSolution, WorstInAndAverageIn) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p{500.0, 500.0};
+  const double amps = 0.1;
+  const GridSolution sol = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), true);
+  const Rect center_box{400, 400, 600, 600};
+  const Rect corner_box{0, 0, 100, 100};
+  EXPECT_GT(sol.worst_in(center_box), sol.worst_in(corner_box));
+  EXPECT_LE(sol.average_in(center_box), sol.worst_in(center_box));
+  EXPECT_GT(sol.average_in(center_box), 0.0);
+  EXPECT_NEAR(sol.worst_in(rig.fp.die()), sol.worst(), 1e-12);
+}
+
+TEST(GridSolution, BilinearSampleInterpolates) {
+  GridSolution sol;
+  sol.nx = 2;
+  sol.ny = 2;
+  sol.die = Rect{0, 0, 10, 10};
+  sol.drop_v = {0.0, 1.0, 0.0, 1.0};  // gradient along x
+  EXPECT_NEAR(sol.drop_at({5.0, 5.0}), 0.5, 1e-12);
+  EXPECT_NEAR(sol.drop_at({0.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(sol.drop_at({10.0, 10.0}), 1.0, 1e-12);
+  // Out-of-die samples clamp.
+  EXPECT_NEAR(sol.drop_at({-5.0, 5.0}), 0.0, 1e-12);
+  EXPECT_NEAR(sol.drop_at({15.0, 5.0}), 1.0, 1e-12);
+}
+
+TEST(PowerGrid, AsciiMapMarksAlarmRegion) {
+  GridRig rig;
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p{500.0, 500.0};
+  const double amps = 1.0;  // huge load -> alarm in the middle
+  const GridSolution sol = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), true);
+  const std::string map = PowerGrid::ascii_map(sol, 0.18);
+  EXPECT_NE(map.find('#'), std::string::npos);
+  EXPECT_NE(map.find(' '), std::string::npos);
+  // One row per grid line (steps of 1 at 24 <= 64 columns).
+  EXPECT_EQ(static_cast<std::size_t>(std::count(map.begin(), map.end(), '\n')),
+            rig.opt.ny);
+}
+
+TEST(PowerGrid, ConvergenceFlagHonest) {
+  GridRig rig;
+  rig.opt.max_iterations = 1;  // force non-convergence
+  PowerGrid grid(rig.fp, rig.opt);
+  const Point p{500.0, 500.0};
+  const double amps = 0.1;
+  const GridSolution sol = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), true);
+  EXPECT_FALSE(sol.converged);
+  EXPECT_EQ(sol.iterations, 1u);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "atpg/context.h"
+#include "core/pattern_sim.h"
+#include "sim/scap.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+struct ScapRig {
+  const SocDesign& soc = test::tiny_soc();
+  const TechLibrary& lib = TechLibrary::generic180();
+  TestContext ctx = TestContext::for_domain(soc.netlist, 0);
+  PatternAnalyzer analyzer{soc, lib};
+
+  PatternAnalysis analyze_random(std::uint64_t seed) {
+    Rng rng(seed);
+    Pattern p;
+    p.s1.resize(soc.netlist.num_flops());
+    for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+    return analyzer.analyze(ctx, p);
+  }
+};
+
+TEST(Scap, EnergyMatchesManualSum) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(1);
+  double vdd_pj = 0.0, vss_pj = 0.0;
+  for (const ToggleEvent& t : pa.trace.toggles) {
+    const double e =
+        rig.lib.toggle_energy_pj(rig.soc.parasitics.net_load_pf(t.net));
+    (t.rising ? vdd_pj : vss_pj) += e;
+  }
+  EXPECT_NEAR(pa.scap.vdd_energy_total_pj, vdd_pj, 1e-9);
+  EXPECT_NEAR(pa.scap.vss_energy_total_pj, vss_pj, 1e-9);
+}
+
+TEST(Scap, BlockEnergiesSumToTotal) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(2);
+  double sum = 0.0;
+  for (double e : pa.scap.vdd_energy_pj) sum += e;
+  EXPECT_NEAR(sum, pa.scap.vdd_energy_total_pj, 1e-9);
+  sum = 0.0;
+  for (double e : pa.scap.vss_energy_pj) sum += e;
+  EXPECT_NEAR(sum, pa.scap.vss_energy_total_pj, 1e-9);
+}
+
+TEST(Scap, CapScapRatioIsPeriodOverStw) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(3);
+  ASSERT_GT(pa.scap.stw_ns, 0.0);
+  const double ratio = pa.scap.scap_mw(Rail::kVdd) / pa.scap.cap_mw(Rail::kVdd);
+  EXPECT_NEAR(ratio, pa.scap.period_ns / pa.scap.stw_ns, 1e-9);
+}
+
+TEST(Scap, ScapExceedsCapWhenWindowShorterThanCycle) {
+  // The paper's core observation: STW < T => SCAP > CAP.
+  ScapRig rig;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const PatternAnalysis pa = rig.analyze_random(seed);
+    if (pa.scap.num_toggles == 0) continue;
+    ASSERT_LT(pa.scap.stw_ns, pa.scap.period_ns) << "seed " << seed;
+    EXPECT_GT(pa.scap.scap_mw(Rail::kVdd), pa.scap.cap_mw(Rail::kVdd));
+  }
+}
+
+TEST(Scap, StwIsToggleSpan) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(4);
+  double first = 1e300, last = 0.0;
+  for (const ToggleEvent& t : pa.trace.toggles) {
+    first = std::min(first, static_cast<double>(t.t_ns));
+    last = std::max(last, static_cast<double>(t.t_ns));
+  }
+  // Toggle timestamps are stored as float; compare with float tolerance.
+  EXPECT_NEAR(pa.scap.stw_ns, last - first, 1e-4);
+  // Clock insertion delay must not inflate the window.
+  EXPECT_LT(pa.scap.stw_ns, last);
+}
+
+TEST(Scap, EmptyTraceYieldsZeroPower) {
+  ScapRig rig;
+  Pattern p;
+  p.s1.assign(rig.soc.netlist.num_flops(), 0);
+  // All-zero state: the launch may still flip some flops; force quiet by
+  // checking the algebra on an empty trace directly instead.
+  ScapCalculator calc(rig.soc.netlist, rig.soc.parasitics, rig.lib);
+  SimTrace empty;
+  const ScapReport rep = calc.compute(empty, 20.0);
+  EXPECT_EQ(rep.num_toggles, 0u);
+  EXPECT_DOUBLE_EQ(rep.scap_mw(Rail::kVdd), 0.0);
+  EXPECT_DOUBLE_EQ(rep.cap_mw(Rail::kVss), 0.0);
+}
+
+TEST(Scap, RisingTogglesChargeVddOnly) {
+  ScapRig rig;
+  SimTrace trace;
+  trace.toggles.push_back(ToggleEvent{rig.soc.netlist.gate(0).out, 1.0f, true});
+  trace.last_toggle_ns = 1.0;
+  ScapCalculator calc(rig.soc.netlist, rig.soc.parasitics, rig.lib);
+  const ScapReport rep = calc.compute(trace, 20.0);
+  EXPECT_GT(rep.vdd_energy_total_pj, 0.0);
+  EXPECT_DOUBLE_EQ(rep.vss_energy_total_pj, 0.0);
+}
+
+TEST(Scap, BlockAttributionFollowsDriver) {
+  ScapRig rig;
+  const Netlist& nl = rig.soc.netlist;
+  // Find a gate in block B5 (index 4).
+  GateId hot_gate = kNullId;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    if (nl.gate(g).block == 4) {
+      hot_gate = g;
+      break;
+    }
+  }
+  ASSERT_NE(hot_gate, kNullId);
+  SimTrace trace;
+  trace.toggles.push_back(ToggleEvent{nl.gate(hot_gate).out, 1.0f, true});
+  trace.last_toggle_ns = 1.0;
+  ScapCalculator calc(nl, rig.soc.parasitics, rig.lib);
+  const ScapReport rep = calc.compute(trace, 20.0);
+  EXPECT_GT(rep.vdd_energy_pj[4], 0.0);
+  EXPECT_DOUBLE_EQ(rep.vdd_energy_pj[0], 0.0);
+}
+
+TEST(Scap, TesterPeriodUsedForCap) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(6);
+  EXPECT_DOUBLE_EQ(pa.scap.period_ns, rig.soc.config.tester_period_ns);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "core/test_schedule.h"
+
+namespace scap {
+namespace {
+
+std::vector<TestSession> sessions4() {
+  return {
+      {"clka", 100.0, 60.0},
+      {"clkb", 40.0, 20.0},
+      {"clkc", 30.0, 25.0},
+      {"clkd", 20.0, 10.0},
+  };
+}
+
+TEST(TestSchedule, UnlimitedBudgetRunsEverythingInParallel) {
+  const auto s = sessions4();
+  const TestSchedule sch = schedule_tests(s, 1000.0);
+  EXPECT_EQ(sch.items.size(), s.size());
+  for (const auto& it : sch.items) EXPECT_DOUBLE_EQ(it.start_us, 0.0);
+  EXPECT_DOUBLE_EQ(sch.makespan_us, 100.0);
+  EXPECT_DOUBLE_EQ(sch.peak_power_mw, 115.0);
+  EXPECT_FALSE(sch.budget_exceeded);
+}
+
+TEST(TestSchedule, TightBudgetSerializes) {
+  // Every pair of sessions exceeds the budget -> fully serial schedule.
+  const std::vector<TestSession> s{
+      {"a", 100.0, 60.0}, {"b", 40.0, 35.0}, {"c", 30.0, 40.0},
+      {"d", 20.0, 50.0}};
+  const TestSchedule sch = schedule_tests(s, 60.0);
+  EXPECT_DOUBLE_EQ(sch.makespan_us, serial_time_us(s));
+  EXPECT_LE(sch.peak_power_mw, 60.0 + 1e-12);
+}
+
+TEST(TestSchedule, IntermediateBudgetPacksPartially) {
+  const auto s = sessions4();
+  const TestSchedule sch = schedule_tests(s, 90.0);
+  EXPECT_LT(sch.makespan_us, serial_time_us(s));
+  EXPECT_GE(sch.makespan_us, 100.0);  // at least the longest session
+  EXPECT_LE(sch.peak_power_mw, 90.0 + 1e-12);
+  EXPECT_FALSE(sch.budget_exceeded);
+}
+
+TEST(TestSchedule, PowerNeverExceedsBudgetAtAnyInstant) {
+  const auto s = sessions4();
+  const TestSchedule sch = schedule_tests(s, 85.0);
+  // Check at every start instant.
+  for (const auto& probe : sch.items) {
+    double used = 0.0;
+    for (const auto& it : sch.items) {
+      const double end = it.start_us + s[it.session].time_us;
+      if (it.start_us <= probe.start_us && probe.start_us < end) {
+        used += s[it.session].power_mw;
+      }
+    }
+    EXPECT_LE(used, 85.0 + 1e-12);
+  }
+}
+
+TEST(TestSchedule, OversizedSessionRunsAlone) {
+  const auto s = sessions4();  // clka needs 60 mW
+  const TestSchedule sch = schedule_tests(s, 50.0);
+  EXPECT_TRUE(sch.budget_exceeded);
+  // clka (index 0) must not overlap anything.
+  double a_start = -1.0;
+  for (const auto& it : sch.items) {
+    if (it.session == 0) a_start = it.start_us;
+  }
+  ASSERT_GE(a_start, 0.0);
+  const double a_end = a_start + s[0].time_us;
+  for (const auto& it : sch.items) {
+    if (it.session == 0) continue;
+    const double b_start = it.start_us;
+    const double b_end = b_start + s[it.session].time_us;
+    EXPECT_TRUE(b_end <= a_start + 1e-12 || b_start >= a_end - 1e-12)
+        << "session " << it.session << " overlaps the oversized one";
+  }
+}
+
+TEST(TestSchedule, AllSessionsScheduledExactlyOnce) {
+  const auto s = sessions4();
+  for (double budget : {50.0, 70.0, 90.0, 1000.0}) {
+    const TestSchedule sch = schedule_tests(s, budget);
+    std::vector<int> seen(s.size(), 0);
+    for (const auto& it : sch.items) ++seen[it.session];
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(seen[i], 1) << "budget " << budget << " session " << i;
+    }
+  }
+}
+
+TEST(TestSchedule, MonotoneInBudget) {
+  const auto s = sessions4();
+  double prev = 1e18;
+  for (double budget : {60.0, 70.0, 80.0, 95.0, 120.0}) {
+    const TestSchedule sch = schedule_tests(s, budget);
+    EXPECT_LE(sch.makespan_us, prev + 1e-9) << "budget " << budget;
+    prev = sch.makespan_us;
+  }
+}
+
+TEST(TestSchedule, EmptyInput) {
+  const TestSchedule sch = schedule_tests({}, 100.0);
+  EXPECT_TRUE(sch.items.empty());
+  EXPECT_DOUBLE_EQ(sch.makespan_us, 0.0);
+}
+
+}  // namespace
+}  // namespace scap
