@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_los.dir/bench_ablation_los.cpp.o"
+  "CMakeFiles/bench_ablation_los.dir/bench_ablation_los.cpp.o.d"
+  "bench_ablation_los"
+  "bench_ablation_los.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_los.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shift.dir/bench_ablation_shift.cpp.o"
+  "CMakeFiles/bench_ablation_shift.dir/bench_ablation_shift.cpp.o.d"
+  "bench_ablation_shift"
+  "bench_ablation_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_scap_randomfill.dir/bench_fig2_scap_randomfill.cpp.o"
+  "CMakeFiles/bench_fig2_scap_randomfill.dir/bench_fig2_scap_randomfill.cpp.o.d"
+  "bench_fig2_scap_randomfill"
+  "bench_fig2_scap_randomfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_scap_randomfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

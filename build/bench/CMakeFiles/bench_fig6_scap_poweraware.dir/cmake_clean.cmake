@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_scap_poweraware.dir/bench_fig6_scap_poweraware.cpp.o"
+  "CMakeFiles/bench_fig6_scap_poweraware.dir/bench_fig6_scap_poweraware.cpp.o.d"
+  "bench_fig6_scap_poweraware"
+  "bench_fig6_scap_poweraware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scap_poweraware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ftas_sweep.dir/bench_ftas_sweep.cpp.o"
+  "CMakeFiles/bench_ftas_sweep.dir/bench_ftas_sweep.cpp.o.d"
+  "bench_ftas_sweep"
+  "bench_ftas_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ftas_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_repair_flow.dir/bench_repair_flow.cpp.o"
+  "CMakeFiles/bench_repair_flow.dir/bench_repair_flow.cpp.o.d"
+  "bench_repair_flow"
+  "bench_repair_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_repair_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_clock_domains.dir/bench_table2_clock_domains.cpp.o"
+  "CMakeFiles/bench_table2_clock_domains.dir/bench_table2_clock_domains.cpp.o.d"
+  "bench_table2_clock_domains"
+  "bench_table2_clock_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_clock_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_statistical_irdrop.dir/bench_table3_statistical_irdrop.cpp.o"
+  "CMakeFiles/bench_table3_statistical_irdrop.dir/bench_table3_statistical_irdrop.cpp.o.d"
+  "bench_table3_statistical_irdrop"
+  "bench_table3_statistical_irdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_statistical_irdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

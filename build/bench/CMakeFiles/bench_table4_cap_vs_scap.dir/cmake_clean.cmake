@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_cap_vs_scap.dir/bench_table4_cap_vs_scap.cpp.o"
+  "CMakeFiles/bench_table4_cap_vs_scap.dir/bench_table4_cap_vs_scap.cpp.o.d"
+  "bench_table4_cap_vs_scap"
+  "bench_table4_cap_vs_scap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_cap_vs_scap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

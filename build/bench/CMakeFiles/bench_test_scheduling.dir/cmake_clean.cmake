@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_test_scheduling.dir/bench_test_scheduling.cpp.o"
+  "CMakeFiles/bench_test_scheduling.dir/bench_test_scheduling.cpp.o.d"
+  "bench_test_scheduling"
+  "bench_test_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_test_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/irdrop_debug.cpp" "examples/CMakeFiles/irdrop_debug.dir/irdrop_debug.cpp.o" "gcc" "examples/CMakeFiles/irdrop_debug.dir/irdrop_debug.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/scap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/atpg/CMakeFiles/scap_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/scap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/scap_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

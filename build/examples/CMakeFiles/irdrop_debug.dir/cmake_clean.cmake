@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irdrop_debug.dir/irdrop_debug.cpp.o"
+  "CMakeFiles/irdrop_debug.dir/irdrop_debug.cpp.o.d"
+  "irdrop_debug"
+  "irdrop_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irdrop_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

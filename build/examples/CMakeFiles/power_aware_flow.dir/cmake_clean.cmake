@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_flow.dir/power_aware_flow.cpp.o"
+  "CMakeFiles/power_aware_flow.dir/power_aware_flow.cpp.o.d"
+  "power_aware_flow"
+  "power_aware_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tester_handoff.dir/tester_handoff.cpp.o"
+  "CMakeFiles/tester_handoff.dir/tester_handoff.cpp.o.d"
+  "tester_handoff"
+  "tester_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tester_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

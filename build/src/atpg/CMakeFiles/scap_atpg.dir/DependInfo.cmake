@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atpg/engine.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/engine.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/engine.cpp.o.d"
+  "/root/repo/src/atpg/fault.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/fault.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/fault.cpp.o.d"
+  "/root/repo/src/atpg/fault_sim.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/fault_sim.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/atpg/pattern.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/pattern.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/pattern.cpp.o.d"
+  "/root/repo/src/atpg/pattern_io.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/pattern_io.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/atpg/podem.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/podem.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/podem.cpp.o.d"
+  "/root/repo/src/atpg/quiet_state.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/quiet_state.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/quiet_state.cpp.o.d"
+  "/root/repo/src/atpg/shift_power.cpp" "src/atpg/CMakeFiles/scap_atpg.dir/shift_power.cpp.o" "gcc" "src/atpg/CMakeFiles/scap_atpg.dir/shift_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/scap_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

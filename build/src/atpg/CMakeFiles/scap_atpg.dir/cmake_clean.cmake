@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_atpg.dir/engine.cpp.o"
+  "CMakeFiles/scap_atpg.dir/engine.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/fault.cpp.o"
+  "CMakeFiles/scap_atpg.dir/fault.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/fault_sim.cpp.o"
+  "CMakeFiles/scap_atpg.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/pattern.cpp.o"
+  "CMakeFiles/scap_atpg.dir/pattern.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/pattern_io.cpp.o"
+  "CMakeFiles/scap_atpg.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/podem.cpp.o"
+  "CMakeFiles/scap_atpg.dir/podem.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/quiet_state.cpp.o"
+  "CMakeFiles/scap_atpg.dir/quiet_state.cpp.o.d"
+  "CMakeFiles/scap_atpg.dir/shift_power.cpp.o"
+  "CMakeFiles/scap_atpg.dir/shift_power.cpp.o.d"
+  "libscap_atpg.a"
+  "libscap_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/scap_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/scap_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/pattern_sim.cpp" "src/core/CMakeFiles/scap_core.dir/pattern_sim.cpp.o" "gcc" "src/core/CMakeFiles/scap_core.dir/pattern_sim.cpp.o.d"
+  "/root/repo/src/core/power_aware.cpp" "src/core/CMakeFiles/scap_core.dir/power_aware.cpp.o" "gcc" "src/core/CMakeFiles/scap_core.dir/power_aware.cpp.o.d"
+  "/root/repo/src/core/test_schedule.cpp" "src/core/CMakeFiles/scap_core.dir/test_schedule.cpp.o" "gcc" "src/core/CMakeFiles/scap_core.dir/test_schedule.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/scap_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/scap_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/atpg/CMakeFiles/scap_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/scap_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/scap_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

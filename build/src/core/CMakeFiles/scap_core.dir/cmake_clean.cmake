@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_core.dir/experiment.cpp.o"
+  "CMakeFiles/scap_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/scap_core.dir/pattern_sim.cpp.o"
+  "CMakeFiles/scap_core.dir/pattern_sim.cpp.o.d"
+  "CMakeFiles/scap_core.dir/power_aware.cpp.o"
+  "CMakeFiles/scap_core.dir/power_aware.cpp.o.d"
+  "CMakeFiles/scap_core.dir/test_schedule.cpp.o"
+  "CMakeFiles/scap_core.dir/test_schedule.cpp.o.d"
+  "CMakeFiles/scap_core.dir/validation.cpp.o"
+  "CMakeFiles/scap_core.dir/validation.cpp.o.d"
+  "libscap_core.a"
+  "libscap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/clock_tree.cpp" "src/layout/CMakeFiles/scap_layout.dir/clock_tree.cpp.o" "gcc" "src/layout/CMakeFiles/scap_layout.dir/clock_tree.cpp.o.d"
+  "/root/repo/src/layout/floorplan.cpp" "src/layout/CMakeFiles/scap_layout.dir/floorplan.cpp.o" "gcc" "src/layout/CMakeFiles/scap_layout.dir/floorplan.cpp.o.d"
+  "/root/repo/src/layout/parasitics.cpp" "src/layout/CMakeFiles/scap_layout.dir/parasitics.cpp.o" "gcc" "src/layout/CMakeFiles/scap_layout.dir/parasitics.cpp.o.d"
+  "/root/repo/src/layout/placement.cpp" "src/layout/CMakeFiles/scap_layout.dir/placement.cpp.o" "gcc" "src/layout/CMakeFiles/scap_layout.dir/placement.cpp.o.d"
+  "/root/repo/src/layout/spef.cpp" "src/layout/CMakeFiles/scap_layout.dir/spef.cpp.o" "gcc" "src/layout/CMakeFiles/scap_layout.dir/spef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

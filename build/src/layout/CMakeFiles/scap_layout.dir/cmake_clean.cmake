@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_layout.dir/clock_tree.cpp.o"
+  "CMakeFiles/scap_layout.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/scap_layout.dir/floorplan.cpp.o"
+  "CMakeFiles/scap_layout.dir/floorplan.cpp.o.d"
+  "CMakeFiles/scap_layout.dir/parasitics.cpp.o"
+  "CMakeFiles/scap_layout.dir/parasitics.cpp.o.d"
+  "CMakeFiles/scap_layout.dir/placement.cpp.o"
+  "CMakeFiles/scap_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/scap_layout.dir/spef.cpp.o"
+  "CMakeFiles/scap_layout.dir/spef.cpp.o.d"
+  "libscap_layout.a"
+  "libscap_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

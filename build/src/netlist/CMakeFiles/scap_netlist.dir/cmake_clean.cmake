@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_netlist.dir/cell_type.cpp.o"
+  "CMakeFiles/scap_netlist.dir/cell_type.cpp.o.d"
+  "CMakeFiles/scap_netlist.dir/design_stats.cpp.o"
+  "CMakeFiles/scap_netlist.dir/design_stats.cpp.o.d"
+  "CMakeFiles/scap_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/scap_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/scap_netlist.dir/tech_library.cpp.o"
+  "CMakeFiles/scap_netlist.dir/tech_library.cpp.o.d"
+  "CMakeFiles/scap_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/scap_netlist.dir/verilog.cpp.o.d"
+  "libscap_netlist.a"
+  "libscap_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/activity.cpp" "src/power/CMakeFiles/scap_power.dir/activity.cpp.o" "gcc" "src/power/CMakeFiles/scap_power.dir/activity.cpp.o.d"
+  "/root/repo/src/power/dynamic_ir.cpp" "src/power/CMakeFiles/scap_power.dir/dynamic_ir.cpp.o" "gcc" "src/power/CMakeFiles/scap_power.dir/dynamic_ir.cpp.o.d"
+  "/root/repo/src/power/power_grid.cpp" "src/power/CMakeFiles/scap_power.dir/power_grid.cpp.o" "gcc" "src/power/CMakeFiles/scap_power.dir/power_grid.cpp.o.d"
+  "/root/repo/src/power/statistical.cpp" "src/power/CMakeFiles/scap_power.dir/statistical.cpp.o" "gcc" "src/power/CMakeFiles/scap_power.dir/statistical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

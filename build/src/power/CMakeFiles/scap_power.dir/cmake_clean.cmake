@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_power.dir/activity.cpp.o"
+  "CMakeFiles/scap_power.dir/activity.cpp.o.d"
+  "CMakeFiles/scap_power.dir/dynamic_ir.cpp.o"
+  "CMakeFiles/scap_power.dir/dynamic_ir.cpp.o.d"
+  "CMakeFiles/scap_power.dir/power_grid.cpp.o"
+  "CMakeFiles/scap_power.dir/power_grid.cpp.o.d"
+  "CMakeFiles/scap_power.dir/statistical.cpp.o"
+  "CMakeFiles/scap_power.dir/statistical.cpp.o.d"
+  "libscap_power.a"
+  "libscap_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/scap_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/scap_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/scap.cpp" "src/sim/CMakeFiles/scap_sim.dir/scap.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/scap.cpp.o.d"
+  "/root/repo/src/sim/sdf.cpp" "src/sim/CMakeFiles/scap_sim.dir/sdf.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/sdf.cpp.o.d"
+  "/root/repo/src/sim/sta.cpp" "src/sim/CMakeFiles/scap_sim.dir/sta.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/sta.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/scap_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/scap_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

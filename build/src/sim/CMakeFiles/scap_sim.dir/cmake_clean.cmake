@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/scap_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/scap_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/scap.cpp.o"
+  "CMakeFiles/scap_sim.dir/scap.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/sdf.cpp.o"
+  "CMakeFiles/scap_sim.dir/sdf.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/sta.cpp.o"
+  "CMakeFiles/scap_sim.dir/sta.cpp.o.d"
+  "CMakeFiles/scap_sim.dir/vcd.cpp.o"
+  "CMakeFiles/scap_sim.dir/vcd.cpp.o.d"
+  "libscap_sim.a"
+  "libscap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/generator.cpp" "src/soc/CMakeFiles/scap_soc.dir/generator.cpp.o" "gcc" "src/soc/CMakeFiles/scap_soc.dir/generator.cpp.o.d"
+  "/root/repo/src/soc/scan_chains.cpp" "src/soc/CMakeFiles/scap_soc.dir/scan_chains.cpp.o" "gcc" "src/soc/CMakeFiles/scap_soc.dir/scan_chains.cpp.o.d"
+  "/root/repo/src/soc/soc_config.cpp" "src/soc/CMakeFiles/scap_soc.dir/soc_config.cpp.o" "gcc" "src/soc/CMakeFiles/scap_soc.dir/soc_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/scap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/scap_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/scap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_soc.dir/generator.cpp.o"
+  "CMakeFiles/scap_soc.dir/generator.cpp.o.d"
+  "CMakeFiles/scap_soc.dir/scan_chains.cpp.o"
+  "CMakeFiles/scap_soc.dir/scan_chains.cpp.o.d"
+  "CMakeFiles/scap_soc.dir/soc_config.cpp.o"
+  "CMakeFiles/scap_soc.dir/soc_config.cpp.o.d"
+  "libscap_soc.a"
+  "libscap_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscap_soc.a"
+)

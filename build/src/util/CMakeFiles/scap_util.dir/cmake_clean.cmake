@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_util.dir/table.cpp.o"
+  "CMakeFiles/scap_util.dir/table.cpp.o.d"
+  "libscap_util.a"
+  "libscap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

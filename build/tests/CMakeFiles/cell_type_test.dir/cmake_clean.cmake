@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_type_test.dir/cell_type_test.cpp.o"
+  "CMakeFiles/cell_type_test.dir/cell_type_test.cpp.o.d"
+  "cell_type_test"
+  "cell_type_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_type_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_flow_test.dir/core_flow_test.cpp.o"
+  "CMakeFiles/core_flow_test.dir/core_flow_test.cpp.o.d"
+  "core_flow_test"
+  "core_flow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_ir_test.dir/dynamic_ir_test.cpp.o"
+  "CMakeFiles/dynamic_ir_test.dir/dynamic_ir_test.cpp.o.d"
+  "dynamic_ir_test"
+  "dynamic_ir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interchange_test.dir/interchange_test.cpp.o"
+  "CMakeFiles/interchange_test.dir/interchange_test.cpp.o.d"
+  "interchange_test"
+  "interchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

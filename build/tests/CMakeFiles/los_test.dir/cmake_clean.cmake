@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/los_test.dir/los_test.cpp.o"
+  "CMakeFiles/los_test.dir/los_test.cpp.o.d"
+  "los_test"
+  "los_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/los_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/podem_test.dir/podem_test.cpp.o"
+  "CMakeFiles/podem_test.dir/podem_test.cpp.o.d"
+  "podem_test"
+  "podem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/podem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scap_test.dir/scap_test.cpp.o"
+  "CMakeFiles/scap_test.dir/scap_test.cpp.o.d"
+  "scap_test"
+  "scap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

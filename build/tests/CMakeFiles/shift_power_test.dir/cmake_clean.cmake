@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_power_test.dir/shift_power_test.cpp.o"
+  "CMakeFiles/shift_power_test.dir/shift_power_test.cpp.o.d"
+  "shift_power_test"
+  "shift_power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

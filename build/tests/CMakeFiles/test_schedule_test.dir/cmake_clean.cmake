@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_test.dir/test_schedule_test.cpp.o"
+  "CMakeFiles/test_schedule_test.dir/test_schedule_test.cpp.o.d"
+  "test_schedule_test"
+  "test_schedule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
