@@ -73,7 +73,8 @@ void print_ablation() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Ablation", "don't-care fill policies");
+  scap::bench::BenchRun run("ablation_fill", "Ablation", "don't-care fill policies");
+  run.phase("table");
   scap::print_ablation();
   (void)argc;
   (void)argv;

@@ -86,7 +86,8 @@ void print_ablation() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Ablation", "LOC vs LOS launch schemes");
+  scap::bench::BenchRun run("ablation_los", "Ablation", "LOC vs LOS launch schemes");
+  run.phase("table");
   scap::print_ablation();
   (void)argc;
   (void)argv;

@@ -77,7 +77,8 @@ void print_ablation() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Ablation", "scan-shift power per fill policy");
+  scap::bench::BenchRun run("ablation_shift", "Ablation", "scan-shift power per fill policy");
+  run.phase("table");
   scap::print_ablation();
   (void)argc;
   (void)argv;

@@ -79,7 +79,8 @@ void print_ablation() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Ablation", "step-plan granularity");
+  scap::bench::BenchRun run("ablation_steps", "Ablation", "step-plan granularity");
+  run.phase("table");
   scap::print_ablation();
   (void)argc;
   (void)argv;

@@ -12,13 +12,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "core/experiment.h"
 #include "core/power_aware.h"
 #include "core/validation.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
 namespace scap::bench {
@@ -97,6 +101,62 @@ inline void print_header(const char* experiment_id, const char* what) {
               bench_scale());
   std::printf("=============================================================\n");
 }
+
+/// Per-process run wrapper for a bench binary: prints the usual header and,
+/// on destruction, writes the machine-readable `BENCH_<slug>.json` metrics
+/// artifact (schema in README.md "Observability") -- phase wall times, every
+/// obs counter/gauge and per-span timer accumulated during the run. Phases
+/// are marked with phase(); everything before the first mark is "setup".
+class BenchRun {
+ public:
+  BenchRun(const char* slug, const char* experiment_id, const char* what) {
+    report_.name = slug;
+    print_header(experiment_id, what);
+    char scale[32];
+    std::snprintf(scale, sizeof scale, "%.3f", bench_scale());
+    report_.info.emplace_back("experiment", experiment_id);
+    report_.info.emplace_back("scale", scale);
+    report_.info.emplace_back("seed", "2007");
+    phase_name_ = "setup";
+    phase_start_ = Clock::now();
+  }
+
+  /// Close the current phase and start `name`.
+  void phase(const char* name) {
+    close_phase();
+    phase_name_ = name;
+    phase_start_ = Clock::now();
+  }
+
+  ~BenchRun() {
+    close_phase();
+    const std::string path = obs::bench_artifact_path(report_.name);
+    const std::string body =
+        obs::to_json(report_, obs::Registry::global());
+    if (obs::write_file(path, body)) {
+      std::printf("\nmetrics: wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "\nmetrics: FAILED to write %s\n", path.c_str());
+    }
+  }
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void close_phase() {
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - phase_start_)
+            .count();
+    report_.phases.push_back(obs::PhaseTime{phase_name_, ms});
+  }
+
+  obs::RunReport report_;
+  std::string phase_name_;
+  Clock::time_point phase_start_;
+};
 
 /// Down-sampled series printer for figure-style data.
 template <typename Fn>

@@ -62,9 +62,10 @@ BENCHMARK(BM_ScapProfileChunk)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header(
-      "Figure 2", "per-pattern SCAP in B5, conventional random-fill set");
+  scap::bench::BenchRun run("fig2_scap_randomfill", "Figure 2", "per-pattern SCAP in B5, conventional random-fill set");
+  run.phase("table");
   scap::print_fig2();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -75,9 +75,10 @@ BENCHMARK(BM_AsciiMap);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Figure 3",
-                            "dynamic IR-drop maps for P1 (hot) and P2 (cool)");
+  scap::bench::BenchRun run("fig3_irdrop_maps", "Figure 3", "dynamic IR-drop maps for P1 (hot) and P2 (cool)");
+  run.phase("table");
   scap::print_fig3();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

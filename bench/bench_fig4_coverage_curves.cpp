@@ -83,9 +83,10 @@ BENCHMARK(BM_FaultSimBatch)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Figure 4",
-                            "coverage curves: conventional vs power-aware");
+  scap::bench::BenchRun run("fig4_coverage_curves", "Figure 4", "coverage curves: conventional vs power-aware");
+  run.phase("table");
   scap::print_fig4();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -66,9 +66,10 @@ BENCHMARK(BM_QuietStateSearch)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header(
-      "Figure 6", "per-pattern SCAP in B5, power-aware stepwise set");
+  scap::bench::BenchRun run("fig6_scap_poweraware", "Figure 6", "per-pattern SCAP in B5, power-aware stepwise set");
+  run.phase("table");
   scap::print_fig6();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

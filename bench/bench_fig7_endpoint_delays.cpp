@@ -101,9 +101,10 @@ BENCHMARK(BM_IrValidationFlow)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header(
-      "Figure 7", "endpoint path delays: nominal vs IR-drop-scaled delays");
+  scap::bench::BenchRun run("fig7_endpoint_delays", "Figure 7", "endpoint path delays: nominal vs IR-drop-scaled delays");
+  run.phase("table");
   scap::print_fig7();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

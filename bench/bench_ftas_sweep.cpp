@@ -85,9 +85,10 @@ BENCHMARK(BM_EndpointDelayExtraction)->Unit(benchmark::kMicrosecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Extension",
-                            "faster-than-at-speed capture sweep under IR-drop");
+  scap::bench::BenchRun run("ftas_sweep", "Extension", "faster-than-at-speed capture sweep under IR-drop");
+  run.phase("table");
   scap::print_ftas();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -102,7 +102,8 @@ BENCHMARK(BM_ClockTreeSynthesis)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Kernels", "micro-benchmarks of the core engines");
+  scap::bench::BenchRun run("kernels", "Kernels", "micro-benchmarks of the core engines");
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

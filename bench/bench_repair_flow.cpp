@@ -41,8 +41,8 @@ void print_repair() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Extension",
-                            "repairing an existing pattern set's SCAP violations");
+  scap::bench::BenchRun run("repair_flow", "Extension", "repairing an existing pattern set's SCAP violations");
+  run.phase("table");
   scap::print_repair();
   (void)argc;
   (void)argv;

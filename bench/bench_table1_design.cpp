@@ -67,8 +67,10 @@ BENCHMARK(BM_FaultCollapsing);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Table 1", "design characteristics");
+  scap::bench::BenchRun run("table1_design", "Table 1", "design characteristics");
+  run.phase("table");
   scap::print_table1();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -63,8 +63,10 @@ BENCHMARK(BM_ScanStitch)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Table 2", "clock domain analysis");
+  scap::bench::BenchRun run("table2_clock_domains", "Table 2", "clock domain analysis");
+  run.phase("table");
   scap::print_table2();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

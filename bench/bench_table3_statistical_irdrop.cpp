@@ -99,8 +99,10 @@ BENCHMARK(BM_GridSolve)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Table 3", "statistical functional IR-drop per block");
+  scap::bench::BenchRun run("table3_statistical_irdrop", "Table 3", "statistical functional IR-drop per block");
+  run.phase("table");
   scap::print_table3();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -95,8 +95,10 @@ BENCHMARK(BM_DynamicIrOnePattern)->Unit(benchmark::kMillisecond);
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Table 4", "CAP vs SCAP power/IR for one pattern");
+  scap::bench::BenchRun run("table4_cap_vs_scap", "Table 4", "CAP vs SCAP power/IR for one pattern");
+  run.phase("table");
   scap::print_table4();
+  run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

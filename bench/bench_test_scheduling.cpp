@@ -89,7 +89,8 @@ void print_scheduling() {
 }  // namespace scap
 
 int main(int argc, char** argv) {
-  scap::bench::print_header("Extension", "power-constrained SOC test scheduling");
+  scap::bench::BenchRun run("test_scheduling", "Extension", "power-constrained SOC test scheduling");
+  run.phase("table");
   scap::print_scheduling();
   (void)argc;
   (void)argv;

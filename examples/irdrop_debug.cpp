@@ -6,7 +6,9 @@
 //   - report the endpoint delay shifts (Figure 7's Regions 1 and 2) and the
 //     rail map, and dump a VCD for waveform viewing.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "core/experiment.h"
 #include "core/validation.h"
@@ -14,7 +16,7 @@
 #include "util/rng.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scap;
 
   Experiment exp = Experiment::standard(/*scale=*/0.03, /*seed=*/2007);
@@ -81,11 +83,21 @@ int main() {
               "measured faster (capture clock slowed)\n",
               slow.size(), fast.size());
 
-  // VCD dump of the nominal window for a waveform viewer.
-  const char* vcd_path = "irdrop_debug.vcd";
+  // VCD dump of the nominal window for a waveform viewer. Default next to
+  // the executable (the build tree), never the source checkout; argv[1]
+  // overrides.
+  const std::string vcd_path =
+      argc > 1 ? std::string(argv[1])
+               : (std::filesystem::path(argv[0]).parent_path() /
+                  "irdrop_debug.vcd")
+                     .string();
   std::ofstream os(vcd_path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", vcd_path.c_str());
+    return 1;
+  }
   write_vcd(nl, v.nominal.frame1_nets, v.nominal.trace, os);
-  std::printf("wrote %s (%zu value changes)\n", vcd_path,
+  std::printf("wrote %s (%zu value changes)\n", vcd_path.c_str(),
               v.nominal.trace.toggles.size());
   return 0;
 }

@@ -5,12 +5,18 @@
 #include <cassert>
 
 #include "atpg/quiet_state.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace scap {
 
 AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
                            const AtpgOptions& opt,
                            std::vector<FaultStatus>* status) {
+  SCAP_TRACE_SCOPE("atpg.run");
+  // This run's own outcomes (status may arrive pre-seeded by earlier steps).
+  std::uint64_t run_detected = 0, run_aborted = 0, run_untestable = 0;
+  std::uint64_t run_merges = 0;
   const Netlist& nl = *nl_;
   AtpgResult result;
   result.patterns.domain = ctx_->domain;
@@ -103,6 +109,7 @@ AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
       detect_count[i] += static_cast<std::uint32_t>(std::popcount(mask));
       if (detect_count[i] >= opt.n_detect) {
         st[i] = FaultStatus::kDetected;
+        ++run_detected;
       } else {
         tried[i] = 0;  // re-arm as a primary target for another detection
       }
@@ -138,10 +145,12 @@ AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
     const PodemStatus ps = podem.generate(faults[target], cube);
     if (ps == PodemStatus::kUntestable) {
       st[target] = FaultStatus::kUntestable;
+      ++run_untestable;
       continue;
     }
     if (ps == PodemStatus::kAborted) {
       st[target] = FaultStatus::kAborted;
+      ++run_aborted;
       continue;
     }
 
@@ -178,6 +187,7 @@ AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
         cube = std::move(merged_cube);
         tried[j] = 1;
         ++merged;
+        ++run_merges;
       }
     }
 
@@ -195,6 +205,7 @@ AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
   // when targets ran dry) still count as detected for coverage.
   for (std::size_t i = 0; i < faults.size(); ++i) {
     if (st[i] != FaultStatus::kUntestable && detect_count[i] > 0) {
+      run_detected += (st[i] != FaultStatus::kDetected);
       st[i] = FaultStatus::kDetected;
     }
   }
@@ -214,6 +225,12 @@ AtpgResult AtpgEngine::run(std::span<const TdfFault> faults,
         break;
     }
   }
+  obs::count("atpg.runs");
+  obs::count("atpg.patterns", result.patterns.size());
+  obs::count("atpg.compaction_merges", run_merges);
+  obs::count("atpg.detected_faults", run_detected);
+  obs::count("atpg.aborted_faults", run_aborted);
+  obs::count("atpg.untestable_faults", run_untestable);
   return result;
 }
 

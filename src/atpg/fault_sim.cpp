@@ -5,10 +5,17 @@
 #include <bit>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scap {
 
 FaultSimulator::FaultSimulator(const Netlist& nl, const TestContext& ctx)
     : nl_(&nl), ctx_(&ctx), sim_(nl) {
+  obs::Registry& reg = obs::Registry::global();
+  batches_ctr_ = &reg.counter("faultsim.batches");
+  masks_ctr_ = &reg.counter("faultsim.detect_masks");
+  events_ctr_ = &reg.counter("faultsim.events");
   faulty_.assign(nl.num_nets(), 0);
   stamp_.assign(nl.num_nets(), 0);
   obs_weight_.assign(nl.num_nets(), 0);
@@ -20,7 +27,9 @@ FaultSimulator::FaultSimulator(const Netlist& nl, const TestContext& ctx)
 }
 
 void FaultSimulator::load_batch(std::span<const Pattern> batch) {
+  SCAP_TRACE_SCOPE("faultsim.batch");
   assert(batch.size() <= 64);
+  if (obs::metrics_enabled()) batches_ctr_->add(1);
   const Netlist& nl = *nl_;
   batch_size_ = batch.size();
 
@@ -107,11 +116,13 @@ std::uint64_t FaultSimulator::detect_mask(const TdfFault& fault) {
   }
 
   std::array<std::uint64_t, 4> ins{};
+  std::size_t gate_evals = 0;
   for (std::uint32_t k = min_key; k <= max_key && k < buckets_.size(); ++k) {
     auto& bucket = buckets_[k];
     for (std::size_t i = 0; i < bucket.size(); ++i) {
       const GateId g = bucket[i];
       queued_[g] = 0;
+      ++gate_evals;
       const auto in_nets = nl.gate_inputs(g);
       for (std::size_t j = 0; j < in_nets.size(); ++j) {
         std::uint64_t v = faulty_value(in_nets[j]);
@@ -129,12 +140,17 @@ std::uint64_t FaultSimulator::detect_mask(const TdfFault& fault) {
     bucket.clear();
     max_key = std::max(max_key, k);  // set_faulty may have raised it
   }
+  if (obs::metrics_enabled()) {
+    masks_ctr_->add(1);
+    events_ctr_->add(gate_evals);
+  }
   return detect;
 }
 
 std::vector<std::size_t> FaultSimulator::grade(
     std::span<const Pattern> patterns, std::span<const TdfFault> faults,
     std::vector<std::size_t>* first_detects_per_pattern) {
+  SCAP_TRACE_SCOPE("faultsim.grade");
   std::vector<std::size_t> first(faults.size(), kUndetected);
   if (first_detects_per_pattern) {
     first_detects_per_pattern->assign(patterns.size(), 0);

@@ -24,6 +24,10 @@
 
 namespace scap {
 
+namespace obs {
+class Counter;
+}
+
 class FaultSimulator {
  public:
   FaultSimulator(const Netlist& nl, const TestContext& ctx);
@@ -64,6 +68,12 @@ class FaultSimulator {
   // Level-bucketed worklist.
   std::vector<std::vector<GateId>> buckets_;
   std::vector<std::uint8_t> queued_;
+
+  // Cached instrumentation counters (registry lookups are too slow for the
+  // per-fault hot path; registry entries are never invalidated).
+  obs::Counter* batches_ctr_ = nullptr;
+  obs::Counter* masks_ctr_ = nullptr;
+  obs::Counter* events_ctr_ = nullptr;
 };
 
 }  // namespace scap

@@ -4,6 +4,8 @@
 #include <array>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace scap {
 
 Podem::Podem(const Netlist& nl, const TestContext& ctx, PodemOptions opt)
@@ -501,6 +503,7 @@ PodemStatus Podem::run(std::size_t baseline, TestCube& out) {
     if (!flipped) {
       return baseline == 0 ? PodemStatus::kUntestable : PodemStatus::kAborted;
     }
+    ++backtracks_;
     if (++backtracks > opt_.backtrack_limit) {
       pop_to(baseline);
       return PodemStatus::kAborted;
@@ -522,16 +525,25 @@ bool Podem::probe(const TdfFault& fault, std::span<const std::uint8_t> s1) {
 }
 
 PodemStatus Podem::generate(const TdfFault& fault, TestCube& out) {
+  const std::uint64_t impl0 = implications_, bt0 = backtracks_;
   pop_to(0);
   install_fault(fault);
-  return run(0, out);
+  const PodemStatus st = run(0, out);
+  obs::count("atpg.podem_generates");
+  obs::count("atpg.implications", implications_ - impl0);
+  obs::count("atpg.backtracks", backtracks_ - bt0);
+  return st;
 }
 
 PodemStatus Podem::extend(const TdfFault& fault, TestCube& out) {
+  const std::uint64_t impl0 = implications_, bt0 = backtracks_;
   const std::size_t baseline = stack_.size();
   install_fault(fault);
   const PodemStatus st = run(baseline, out);
   if (st != PodemStatus::kDetected) pop_to(baseline);
+  obs::count("atpg.podem_extends");
+  obs::count("atpg.implications", implications_ - impl0);
+  obs::count("atpg.backtracks", backtracks_ - bt0);
   return st;
 }
 

@@ -57,6 +57,7 @@ class Podem {
   bool probe(const TdfFault& fault, std::span<const std::uint8_t> s1);
 
   std::uint64_t implications() const { return implications_; }
+  std::uint64_t backtracks() const { return backtracks_; }
 
  private:
   enum Frame : std::uint8_t { kF1 = 0, kF2 = 1 };
@@ -121,6 +122,7 @@ class Podem {
 
   std::vector<Decision> stack_;
   std::uint64_t implications_ = 0;
+  std::uint64_t backtracks_ = 0;
   mutable std::size_t backtrace_salt_ = 0;  ///< path diversification counter
 };
 

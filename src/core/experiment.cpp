@@ -1,8 +1,11 @@
 #include "core/experiment.h"
 
+#include "obs/trace.h"
+
 namespace scap {
 
 Experiment Experiment::standard(double scale, std::uint64_t seed) {
+  SCAP_TRACE_SCOPE("experiment.build");
   SocConfig cfg = SocConfig::turbo_eagle_scaled(scale);
   cfg.seed = seed;
   const TechLibrary& lib = TechLibrary::generic180();

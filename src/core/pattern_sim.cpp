@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace scap {
 
 PatternAnalyzer::PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib)
@@ -15,6 +17,7 @@ PatternAnalysis PatternAnalyzer::analyze(
     const TestContext& ctx, const Pattern& pattern,
     const DelayModel* delay_model,
     std::span<const double> clock_arrivals) const {
+  SCAP_TRACE_SCOPE("sim.pattern_analyze");
   const Netlist& nl = soc_->netlist;
   PatternAnalysis out;
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scap {
 
 StepPlan StepPlan::paper_default(std::size_t num_blocks,
@@ -36,6 +39,7 @@ std::vector<double> FlowResult::coverage_curve() const {
 FlowResult run_power_aware_atpg(const Netlist& nl, const TestContext& ctx,
                                 std::span<const TdfFault> faults,
                                 const StepPlan& plan, AtpgOptions base) {
+  SCAP_TRACE_SCOPE("flow.power_aware");
   FlowResult out;
   out.patterns.domain = ctx.domain;
   AtpgEngine engine(nl, ctx);
@@ -43,6 +47,7 @@ FlowResult run_power_aware_atpg(const Netlist& nl, const TestContext& ctx,
 
   std::uint64_t step_seed = base.seed;
   for (const auto& step : plan.steps) {
+    SCAP_TRACE_SCOPE("atpg.step");
     out.step_start.push_back(out.patterns.patterns.size());
     AtpgOptions opt = base;
     opt.target_blocks = step.target_blocks;
@@ -54,6 +59,13 @@ FlowResult run_power_aware_atpg(const Netlist& nl, const TestContext& ctx,
       if (s == FaultStatus::kAborted) s = FaultStatus::kUndetected;
     }
     AtpgResult step_res = engine.run(faults, opt, &status);
+    // Step-level summary: per-step pattern counts are the paper's Figure 4
+    // x-axis; the distributions surface in every metrics artifact.
+    obs::count("flow.steps");
+    obs::count("flow.step_patterns_total", step_res.patterns.size());
+    obs::observe("flow.step_patterns",
+                 static_cast<double>(step_res.patterns.size()));
+    obs::observe("flow.step_coverage", step_res.stats.fault_coverage());
     for (auto& p : step_res.patterns.patterns) {
       out.patterns.patterns.push_back(std::move(p));
     }
@@ -71,6 +83,7 @@ FlowResult run_power_aware_atpg(const Netlist& nl, const TestContext& ctx,
 FlowResult run_conventional_atpg(const Netlist& nl, const TestContext& ctx,
                                  std::span<const TdfFault> faults,
                                  AtpgOptions base) {
+  SCAP_TRACE_SCOPE("flow.conventional");
   FlowResult out;
   out.patterns.domain = ctx.domain;
   AtpgEngine engine(nl, ctx);

@@ -1,6 +1,8 @@
 #include "core/validation.h"
 
 #include "atpg/fault_sim.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace scap {
 
@@ -8,6 +10,9 @@ std::vector<ScapReport> scap_profile(const SocDesign& soc,
                                      const TechLibrary& lib,
                                      const TestContext& ctx,
                                      const PatternSet& patterns) {
+  SCAP_TRACE_SCOPE("scap.profile");
+  obs::count("scap.profiles");
+  obs::count("scap.profile_patterns", patterns.size());
   PatternAnalyzer analyzer(soc, lib);
   std::vector<ScapReport> out;
   out.reserve(patterns.size());
@@ -22,6 +27,7 @@ IrValidationResult validate_pattern_ir(const SocDesign& soc,
                                        const PowerGrid& grid,
                                        const TestContext& ctx,
                                        const Pattern& pattern) {
+  SCAP_TRACE_SCOPE("flow.validate_pattern_ir");
   IrValidationResult out;
   PatternAnalyzer analyzer(soc, lib);
 
@@ -59,6 +65,7 @@ RepairResult repair_scap_violations(const SocDesign& soc,
                                     const ScapThresholds& thresholds,
                                     std::size_t hot_block, AtpgOptions opt,
                                     std::size_t max_rounds) {
+  SCAP_TRACE_SCOPE("flow.repair");
   RepairResult out;
   out.patterns.domain = patterns.domain;
   out.patterns_before = patterns.size();

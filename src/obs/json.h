@@ -1,0 +1,309 @@
+// Minimal recursive-descent JSON reader (header-only).
+//
+// Just enough to validate and round-trip the artifacts the instrumentation
+// layer emits (BENCH_*.json metrics, Chrome traces): objects, arrays,
+// strings with the escapes json_escape produces, numbers, booleans, null.
+// Not a general-purpose parser -- no \uXXXX surrogate pairs, no duplicate-key
+// policy (last one is kept for lookup, all are kept in order for dump()).
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scap::obs::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// First member with this key, or nullptr.
+  const Value* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case Kind::kNull:
+        return true;
+      case Kind::kBool:
+        return a.boolean == b.boolean;
+      case Kind::kNumber:
+        return a.number == b.number;
+      case Kind::kString:
+        return a.string == b.string;
+      case Kind::kArray:
+        return a.array == b.array;
+      case Kind::kObject:
+        return a.object == b.object;
+    }
+    return false;
+  }
+
+  /// Re-serialize (canonical escapes; numbers via %.17g round-trip exactly).
+  std::string dump() const {
+    std::string out;
+    dump_to(out);
+    return out;
+  }
+
+ private:
+  static void dump_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void dump_to(std::string& out) const {
+    switch (kind) {
+      case Kind::kNull:
+        out += "null";
+        break;
+      case Kind::kBool:
+        out += boolean ? "true" : "false";
+        break;
+      case Kind::kNumber: {
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%.17g", number);
+        out += buf;
+        break;
+      }
+      case Kind::kString:
+        dump_string(string, out);
+        break;
+      case Kind::kArray:
+        out += '[';
+        for (std::size_t i = 0; i < array.size(); ++i) {
+          if (i) out += ',';
+          array[i].dump_to(out);
+        }
+        out += ']';
+        break;
+      case Kind::kObject:
+        out += '{';
+        for (std::size_t i = 0; i < object.size(); ++i) {
+          if (i) out += ',';
+          dump_string(object[i].first, out);
+          out += ':';
+          object[i].second.dump_to(out);
+        }
+        out += '}';
+        break;
+    }
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<Value> parse() {
+    std::optional<Value> v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<std::string> string() {
+    if (!eat('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return std::nullopt;
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {  // 2-byte UTF-8 covers the control/latin range we emit
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return std::nullopt;
+    const char c = s_[pos_];
+    Value v;
+    if (c == '{') {
+      ++pos_;
+      v.kind = Value::Kind::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      for (;;) {
+        std::optional<std::string> key = (skip_ws(), string());
+        if (!key || !eat(':')) return std::nullopt;
+        std::optional<Value> member = value();
+        if (!member) return std::nullopt;
+        v.object.emplace_back(std::move(*key), std::move(*member));
+        if (eat(',')) continue;
+        if (eat('}')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      v.kind = Value::Kind::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      for (;;) {
+        std::optional<Value> item = value();
+        if (!item) return std::nullopt;
+        v.array.push_back(std::move(*item));
+        if (eat(',')) continue;
+        if (eat(']')) return v;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> s = string();
+      if (!s) return std::nullopt;
+      v.kind = Value::Kind::kString;
+      v.string = std::move(*s);
+      return v;
+    }
+    if (c == 't') {
+      if (!literal("true")) return std::nullopt;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return std::nullopt;
+      v.kind = Value::Kind::kBool;
+      return v;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return std::nullopt;
+      return v;
+    }
+    // Number.
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    auto digit_run = [&] {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    digit_run();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digit_run();
+    }
+    if (digits && pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      digit_run();
+    }
+    if (!digits) return std::nullopt;
+    v.kind = Value::Kind::kNumber;
+    v.number = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse `text`; nullopt on any syntax error or trailing garbage.
+inline std::optional<Value> parse(std::string_view text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace scap::obs::json

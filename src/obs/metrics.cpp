@@ -1,0 +1,71 @@
+#include "obs/metrics.h"
+
+namespace scap::obs {
+
+Registry& Registry::global() {
+  static Registry* r = new Registry;  // leaked: instrumented statics may
+  return *r;                          // outlive ordinary destruction order
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Timer& Registry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), std::make_unique<Timer>()).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, RunningStats>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, RunningStats>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->snapshot());
+  return out;
+}
+
+std::vector<Registry::TimerSnap> Registry::timers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimerSnap> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    out.push_back(TimerSnap{name, t->snapshot(), t->total_ms()});
+  }
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace scap::obs

@@ -1,0 +1,131 @@
+// Named counters, distribution gauges and span timers in a global registry.
+//
+// Counters are monotonic relaxed atomics (cheap enough to leave on in hot
+// paths at once-per-call granularity); gauges and timers wrap the repo's
+// RunningStats accumulator (src/util/stats.h) behind a mutex -- they are fed
+// at per-pattern / per-phase granularity, never per-event.
+//
+// The registry never erases entries, so Counter/Gauge/Timer references stay
+// valid for the life of the process; hot callers cache them at construction
+// time instead of paying the name lookup per call.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"  // metrics_enabled()
+#include "util/stats.h"
+
+namespace scap::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Distribution gauge: count / mean / min / max / stddev of observed values.
+class Gauge {
+ public:
+  void observe(double x) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.add(x);
+  }
+  RunningStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = RunningStats{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+};
+
+/// Aggregated wall-time for one span name (fed by TraceScope).
+class Timer {
+ public:
+  void observe_ms(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.add(ms);
+    total_ms_ += ms;
+  }
+  RunningStats snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  double total_ms() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_ms_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = RunningStats{};
+    total_ms_ = 0.0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+  double total_ms_ = 0.0;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by all instrumentation macros/helpers.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  struct TimerSnap {
+    std::string name;
+    RunningStats stats;
+    double total_ms = 0.0;
+  };
+
+  /// Sorted-by-name snapshots.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, RunningStats>> gauges() const;
+  std::vector<TimerSnap> timers() const;
+
+  /// Zero every value; registered references stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// Convenience helpers gated on the metrics switch. Fine for warm paths
+/// (per pattern, per batch, per ATPG run); hot loops should accumulate
+/// locally and flush once per call instead.
+inline void count(std::string_view name, std::uint64_t n = 1) {
+  if (metrics_enabled()) Registry::global().counter(name).add(n);
+}
+inline void observe(std::string_view name, double x) {
+  if (metrics_enabled()) Registry::global().gauge(name).observe(x);
+}
+
+}  // namespace scap::obs

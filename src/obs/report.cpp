@@ -1,0 +1,148 @@
+#include "obs/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace scap::obs {
+
+namespace {
+
+/// Format a double so the output is valid JSON (no inf/nan) and round-trips.
+std::string num(double x) {
+  if (!(x == x)) return "0";                       // NaN
+  if (x > 1e308 || x < -1e308) return "0";         // +-inf
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+void append_stats(std::ostringstream& os, const RunningStats& s) {
+  os << "{\"count\":" << s.count() << ",\"mean\":" << num(s.mean())
+     << ",\"min\":" << num(s.min()) << ",\"max\":" << num(s.max())
+     << ",\"stddev\":" << num(s.stddev()) << "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const RunReport& rep, const Registry& reg) {
+  std::ostringstream os;
+  os << "{\n  \"name\": \"" << json_escape(rep.name) << "\",\n  \"info\": {";
+  for (std::size_t i = 0; i < rep.info.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(rep.info[i].first) << "\": \""
+       << json_escape(rep.info[i].second) << "\"";
+  }
+  os << "},\n  \"phases\": [";
+  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    {\"name\": \"" << json_escape(rep.phases[i].name)
+       << "\", \"wall_ms\": " << num(rep.phases[i].wall_ms) << "}";
+  }
+  os << (rep.phases.empty() ? "]" : "\n  ]") << ",\n  \"counters\": {";
+  const auto counters = reg.counters();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    \"" << json_escape(counters[i].first)
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  const auto gauges = reg.gauges();
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    \"" << json_escape(gauges[i].first) << "\": ";
+    append_stats(os, gauges[i].second);
+  }
+  os << (gauges.empty() ? "}" : "\n  }") << ",\n  \"timers\": {";
+  const auto timers = reg.timers();
+  for (std::size_t i = 0; i < timers.size(); ++i) {
+    if (i) os << ",";
+    os << "\n    \"" << json_escape(timers[i].name)
+       << "\": {\"count\":" << timers[i].stats.count()
+       << ",\"total_ms\":" << num(timers[i].total_ms)
+       << ",\"mean_ms\":" << num(timers[i].stats.mean())
+       << ",\"min_ms\":" << num(timers[i].stats.min())
+       << ",\"max_ms\":" << num(timers[i].stats.max()) << "}";
+  }
+  os << (timers.empty() ? "}" : "\n  }") << "\n}\n";
+  return os.str();
+}
+
+std::string to_csv(const Registry& reg) {
+  std::ostringstream os;
+  os << "kind,name,count,value,mean,min,max\n";
+  for (const auto& [name, v] : reg.counters()) {
+    os << "counter," << name << ",1," << v << ",,,\n";
+  }
+  for (const auto& [name, s] : reg.gauges()) {
+    os << "gauge," << name << "," << s.count() << ",," << num(s.mean()) << ","
+       << num(s.min()) << "," << num(s.max()) << "\n";
+  }
+  for (const auto& t : reg.timers()) {
+    os << "timer," << t.name << "," << t.stats.count() << ","
+       << num(t.total_ms) << "," << num(t.stats.mean()) << ","
+       << num(t.stats.min()) << "," << num(t.stats.max()) << "\n";
+  }
+  return os.str();
+}
+
+bool write_file(const std::string& path, std::string_view contents) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os.write(contents.data(),
+           static_cast<std::streamsize>(contents.size()));
+  return os.good();
+}
+
+std::string bench_artifact_path(std::string_view bench_name) {
+  std::string dir;
+  if (const char* env = std::getenv("SCAP_METRICS_DIR")) {
+    if (env[0] != '\0') dir = env;
+  }
+  std::string path;
+  if (!dir.empty()) {
+    path = dir;
+    if (path.back() != '/') path += '/';
+  }
+  path += "BENCH_";
+  path += bench_name;
+  path += ".json";
+  return path;
+}
+
+}  // namespace scap::obs

@@ -1,0 +1,35 @@
+// Chrome `chrome://tracing` / Perfetto JSON export of the trace buffers.
+#include <fstream>
+#include <ostream>
+
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace scap::obs {
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TraceEvent>& events) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(e.name ? e.name : "")
+       << "\",\"cat\":\"scap\",\"ph\":\"" << e.phase << "\",\"ts\":" << e.ts_us
+       << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(std::ostream& os) {
+  write_chrome_trace(os, trace_snapshot());
+}
+
+bool dump_chrome_trace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace scap::obs

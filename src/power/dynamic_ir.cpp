@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scap {
 
 DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
@@ -11,6 +14,7 @@ DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
                                    const ClockTree* clock_tree,
                                    DomainId active_domain,
                                    const DynamicIrOptions& opt) {
+  SCAP_TRACE_SCOPE("power.dynamic_ir");
   DynamicIrReport rep;
   rep.window_ns = std::max(trace.stw_ns(), 1e-3);
 
@@ -83,6 +87,9 @@ DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
   for (FlopId f = 0; f < nl.num_flops(); ++f) {
     rep.flop_droop_v[f] = rep.droop_at(pl.flop_pos(f));
   }
+  obs::count("power.pattern_ir_reports");
+  obs::count("power.grid_solves", 2);  // one per rail
+  obs::observe("power.worst_vdd_v", rep.worst_vdd_v);
   return rep;
 }
 

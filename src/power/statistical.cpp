@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "power/activity.h"
 
 namespace scap {
@@ -11,6 +13,7 @@ StatisticalReport analyze_statistical(
     const TechLibrary& lib, const Floorplan& fp, const PowerGrid& grid,
     std::span<const double> domain_freq_mhz, const ClockTree* clock_tree,
     const StatisticalOptions& opt) {
+  SCAP_TRACE_SCOPE("power.statistical");
   assert(domain_freq_mhz.size() >= nl.domain_count());
 
   StatisticalReport rep;
@@ -74,6 +77,8 @@ StatisticalReport analyze_statistical(
   }
   rep.chip_worst_vdd_v = rep.vdd_solution.worst();
   rep.chip_worst_vss_v = rep.vss_solution.worst();
+  obs::count("power.statistical_runs");
+  obs::count("power.grid_solves", 2);  // one per rail
   return rep;
 }
 

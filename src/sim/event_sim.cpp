@@ -4,6 +4,9 @@
 #include <array>
 #include <queue>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scap {
 
 DelayModel::DelayModel(const Netlist& nl, const TechLibrary& lib,
@@ -66,6 +69,7 @@ struct PendingEvent {
 
 SimTrace EventSim::run(std::span<const std::uint8_t> initial_net_values,
                        std::span<const Stimulus> stimuli) const {
+  SCAP_TRACE_SCOPE("eventsim.run");
   const Netlist& nl = *nl_;
   std::vector<std::uint8_t> value(initial_net_values.begin(),
                                   initial_net_values.end());
@@ -117,6 +121,9 @@ SimTrace EventSim::run(std::span<const std::uint8_t> initial_net_values,
     }
   }
   // Toggle list is produced in commit order == time order already.
+  obs::count("eventsim.runs");
+  obs::count("eventsim.toggles", trace.toggles.size());
+  obs::count("eventsim.events", trace.num_events_processed);
   return trace;
 }
 

@@ -1,5 +1,8 @@
 #include "sim/scap.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace scap {
 
 ScapCalculator::ScapCalculator(const Netlist& nl, const Parasitics& par,
@@ -26,6 +29,7 @@ ScapCalculator::ScapCalculator(const Netlist& nl, const Parasitics& par,
 
 ScapReport ScapCalculator::compute(const SimTrace& trace,
                                    double period_ns) const {
+  SCAP_TRACE_SCOPE("scap.compute");
   ScapReport rep;
   rep.period_ns = period_ns;
   rep.stw_ns = trace.stw_ns();
@@ -44,6 +48,10 @@ ScapReport ScapCalculator::compute(const SimTrace& trace,
       rep.vss_energy_total_pj += e;
     }
   }
+  // Per-pattern SCAP distribution (Figure 2/6 shape at a glance).
+  obs::count("scap.computes");
+  obs::observe("scap.stw_ns", rep.stw_ns);
+  obs::observe("scap.vdd_scap_mw", rep.scap_mw(Rail::kVdd));
   return rep;
 }
 

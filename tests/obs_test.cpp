@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace scap::obs {
+namespace {
+
+// The obs state is process-global; every test starts from a known, clean
+// configuration and leaves the defaults behind (metrics on, tracing off).
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ObsConfig cfg;
+    cfg.trace = true;
+    cfg.metrics = true;
+    cfg.dump_trace_at_exit = false;
+    configure(cfg);
+    trace_clear();
+    Registry::global().reset();
+  }
+
+  void TearDown() override {
+    configure(ObsConfig{});
+    trace_clear();
+    Registry::global().reset();
+  }
+};
+
+TEST_F(ObsTest, CountersIncrementFromMultipleScopes) {
+  count("t.alpha");
+  count("t.alpha", 4);
+  { SCAP_TRACE_SCOPE("t.scoped"); count("t.beta", 2); }
+  EXPECT_EQ(Registry::global().counter("t.alpha").value(), 5u);
+  EXPECT_EQ(Registry::global().counter("t.beta").value(), 2u);
+}
+
+TEST_F(ObsTest, CounterReferencesStableAcrossLookups) {
+  Counter& a = Registry::global().counter("t.stable");
+  a.add(3);
+  for (int i = 0; i < 100; ++i) Registry::global().counter("t.churn" + std::to_string(i));
+  Counter& b = Registry::global().counter("t.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsTest, CountersFromMultipleThreads) {
+  constexpr int kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) count("t.mt");
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(Registry::global().counter("t.mt").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(ObsTest, ScopedTimerProducesWellFormedBeginEndPair) {
+  { SCAP_TRACE_SCOPE("t.span"); }
+  const std::vector<TraceEvent> ev = trace_snapshot();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_STREQ(ev[0].name, "t.span");
+  EXPECT_STREQ(ev[1].name, "t.span");
+  EXPECT_EQ(ev[0].phase, 'B');
+  EXPECT_EQ(ev[1].phase, 'E');
+  EXPECT_EQ(ev[0].tid, ev[1].tid);
+  EXPECT_LE(ev[0].ts_us, ev[1].ts_us);
+}
+
+TEST_F(ObsTest, NestedScopesBalance) {
+  {
+    SCAP_TRACE_SCOPE("t.outer");
+    { SCAP_TRACE_SCOPE("t.inner"); }
+  }
+  const std::vector<TraceEvent> ev = trace_snapshot();
+  ASSERT_EQ(ev.size(), 4u);
+  int depth = 0;
+  for (const TraceEvent& e : ev) {
+    depth += (e.phase == 'B') ? 1 : -1;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, ScopeFeedsAggregatedTimer) {
+  for (int i = 0; i < 3; ++i) { SCAP_TRACE_SCOPE("t.timed"); }
+  const RunningStats st = Registry::global().timer("t.timed").snapshot();
+  EXPECT_EQ(st.count(), 3u);
+  EXPECT_GE(Registry::global().timer("t.timed").total_ms(), 0.0);
+}
+
+TEST_F(ObsTest, ChromeTraceExportParses) {
+  { SCAP_TRACE_SCOPE("t.export"); }
+  count("noise");  // must not affect the trace
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const auto doc = json::parse(os.str());
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array.size(), 2u);
+  const json::Value& b = events->array[0];
+  ASSERT_NE(b.find("name"), nullptr);
+  EXPECT_EQ(b.find("name")->string, "t.export");
+  ASSERT_NE(b.find("ph"), nullptr);
+  EXPECT_EQ(b.find("ph")->string, "B");
+  ASSERT_NE(b.find("ts"), nullptr);
+  EXPECT_EQ(b.find("ts")->kind, json::Value::Kind::kNumber);
+}
+
+TEST_F(ObsTest, MetricsJsonRoundTrips) {
+  count("t.json_counter", 42);
+  observe("t.json_gauge", 1.5);
+  observe("t.json_gauge", 2.5);
+  { SCAP_TRACE_SCOPE("t.json_span"); }
+
+  RunReport rep;
+  rep.name = "unit";
+  rep.info.emplace_back("scale", "0.040");
+  rep.phases.push_back(PhaseTime{"setup", 1.25});
+
+  const std::string text = to_json(rep, Registry::global());
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+
+  // dump() -> parse() is a fixed point.
+  const auto again = json::parse(doc->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(*again == *doc);
+
+  EXPECT_EQ(doc->find("name")->string, "unit");
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("t.json_counter"), nullptr);
+  EXPECT_EQ(counters->find("t.json_counter")->number, 42.0);
+  const json::Value* gauges = doc->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* g = gauges->find("t.json_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->find("count")->number, 2.0);
+  EXPECT_EQ(g->find("mean")->number, 2.0);
+  const json::Value* timers = doc->find("timers");
+  ASSERT_NE(timers, nullptr);
+  EXPECT_NE(timers->find("t.json_span"), nullptr);
+  const json::Value* phases = doc->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->array.size(), 1u);
+  EXPECT_EQ(phases->array[0].find("name")->string, "setup");
+  EXPECT_EQ(phases->array[0].find("wall_ms")->number, 1.25);
+}
+
+TEST_F(ObsTest, CsvExportHasHeaderAndRows) {
+  count("t.csv", 7);
+  observe("t.csv_gauge", 3.0);
+  const std::string csv = to_csv(Registry::global());
+  EXPECT_EQ(csv.rfind("kind,name,count,value,mean,min,max", 0), 0u);
+  EXPECT_NE(csv.find("counter,t.csv,"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,t.csv_gauge,"), std::string::npos);
+}
+
+TEST_F(ObsTest, DisabledModeLeavesNoEventsAndNoCounts) {
+  configure(ObsConfig{.trace = false, .metrics = false});
+  { SCAP_TRACE_SCOPE("t.off"); }
+  count("t.off_counter");
+  observe("t.off_gauge", 1.0);
+  EXPECT_TRUE(trace_snapshot().empty());
+  EXPECT_EQ(Registry::global().counter("t.off_counter").value(), 0u);
+  EXPECT_EQ(Registry::global().gauge("t.off_gauge").snapshot().count(), 0u);
+}
+
+TEST_F(ObsTest, TraceDisabledMetricsStillAggregate) {
+  configure(ObsConfig{.trace = false, .metrics = true});
+  { SCAP_TRACE_SCOPE("t.metrics_only"); }
+  EXPECT_TRUE(trace_snapshot().empty());
+  EXPECT_EQ(Registry::global().timer("t.metrics_only").snapshot().count(), 1u);
+}
+
+TEST_F(ObsTest, TraceClearDropsBufferedEvents) {
+  { SCAP_TRACE_SCOPE("t.cleared"); }
+  ASSERT_EQ(trace_snapshot().size(), 2u);
+  trace_clear();
+  EXPECT_TRUE(trace_snapshot().empty());
+  { SCAP_TRACE_SCOPE("t.after_clear"); }
+  EXPECT_EQ(trace_snapshot().size(), 2u);
+}
+
+TEST_F(ObsTest, EventsFromWorkerThreadsAreRetained) {
+  std::thread worker([] { SCAP_TRACE_SCOPE("t.worker"); });
+  worker.join();
+  { SCAP_TRACE_SCOPE("t.main"); }
+  const std::vector<TraceEvent> ev = trace_snapshot();
+  ASSERT_EQ(ev.size(), 4u);
+  bool saw_worker = false, saw_main = false;
+  for (const TraceEvent& e : ev) {
+    saw_worker |= std::string_view(e.name) == "t.worker";
+    saw_main |= std::string_view(e.name) == "t.main";
+  }
+  EXPECT_TRUE(saw_worker);
+  EXPECT_TRUE(saw_main);
+  // Snapshot is time-ordered across threads.
+  for (std::size_t i = 1; i < ev.size(); ++i) {
+    EXPECT_LE(ev[i - 1].ts_us, ev[i].ts_us);
+  }
+}
+
+TEST_F(ObsTest, RegistryResetZeroesButKeepsReferences) {
+  Counter& c = Registry::global().counter("t.reset");
+  c.add(9);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  EXPECT_EQ(Registry::global().counter("t.reset").value(), 1u);
+}
+
+TEST_F(ObsTest, JsonEscapeControlCharactersRoundTrip) {
+  RunReport rep;
+  rep.name = "weird \"name\"\n\twith\\controls";
+  const std::string text = to_json(rep, Registry::global());
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("name")->string, rep.name);
+}
+
+TEST(ObsConfigTest, FlagsMirrorConfig) {
+  const ObsConfig saved = config();
+  configure(ObsConfig{.trace = true, .metrics = false});
+  EXPECT_TRUE(trace_enabled());
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_TRUE(obs_active());
+  configure(ObsConfig{.trace = false, .metrics = false});
+  EXPECT_FALSE(obs_active());
+  configure(saved);
+}
+
+}  // namespace
+}  // namespace scap::obs
