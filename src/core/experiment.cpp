@@ -1,5 +1,8 @@
 #include "core/experiment.h"
 
+#include <stdexcept>
+
+#include "lint/lint.h"
 #include "obs/trace.h"
 
 namespace scap {
@@ -10,6 +13,21 @@ Experiment Experiment::standard(double scale, std::uint64_t seed) {
   cfg.seed = seed;
   const TechLibrary& lib = TechLibrary::generic180();
   SocDesign soc = build_soc(cfg, lib);
+
+  // Static lint of the generated design (netlist + stitched scan chains).
+  // Feeds the obs registry ("lint.findings", "lint.rule.<id>"), so every
+  // BENCH_*.json artifact records the design's lint profile; a generator
+  // regression that produces an error-severity finding fails loudly here.
+  {
+    lint::LintInput lin;
+    lin.netlist = &soc.netlist;
+    lin.scan_chains = soc.scan.chains;
+    const lint::LintReport lrep = lint::run(lin);
+    if (lrep.has_errors()) {
+      throw std::runtime_error("Experiment::standard: generated SOC fails lint (" +
+                               std::to_string(lrep.errors) + " error(s))");
+    }
+  }
   TestContext ctx = TestContext::for_domain(soc.netlist, /*domain=*/0);
 
   std::vector<TdfFault> all = enumerate_faults(soc.netlist);

@@ -1,0 +1,78 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lint/rules.h"
+
+namespace scap::lint {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::count(std::string_view rule) const {
+  for (const auto& [id, n] : rule_counts) {
+    if (id == rule) return n;
+  }
+  return 0;
+}
+
+bool Diagnostics::rule_enabled(std::string_view rule) const {
+  return std::find(cfg_->disabled.begin(), cfg_->disabled.end(), rule) ==
+         cfg_->disabled.end();
+}
+
+void Diagnostics::add(std::string_view rule, Location loc,
+                      std::string message) {
+  if (!rule_enabled(rule)) return;
+  const RuleInfo* info = find_rule(rule);
+  if (info == nullptr) {
+    throw std::logic_error("lint: finding reported for unregistered rule '" +
+                           std::string(rule) + "'");
+  }
+  Severity sev = info->severity;
+  for (const auto& [id, s] : cfg_->severity_overrides) {
+    if (id == rule) sev = s;
+  }
+
+  auto it = std::find_if(report_.rule_counts.begin(), report_.rule_counts.end(),
+                         [&](const auto& rc) { return rc.first == rule; });
+  if (it == report_.rule_counts.end()) {
+    report_.rule_counts.emplace_back(std::string(rule), 0);
+    it = std::prev(report_.rule_counts.end());
+  }
+  const std::size_t seen = ++it->second;
+
+  switch (sev) {
+    case Severity::kError: ++report_.errors; break;
+    case Severity::kWarning: ++report_.warnings; break;
+    case Severity::kInfo: ++report_.infos; break;
+  }
+
+  if (cfg_->max_per_rule != 0 && seen > cfg_->max_per_rule) {
+    ++report_.suppressed;
+    return;
+  }
+  report_.diagnostics.push_back(Diagnostic{std::string(rule), sev,
+                                           std::move(loc), std::move(message),
+                                           std::string(info->fix_hint)});
+}
+
+LintReport Diagnostics::finish() && {
+  // Errors first, then warnings, then infos; stable within a severity so
+  // findings stay in netlist order.
+  std::stable_sort(report_.diagnostics.begin(), report_.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  return std::move(report_);
+}
+
+}  // namespace scap::lint

@@ -1,0 +1,86 @@
+// Diagnostics engine for the static-analysis subsystem (lint/lint.h).
+//
+// A lint pass reports findings through a Diagnostics collector, which applies
+// the run configuration (disabled rules, severity overrides, a per-rule
+// retention cap so a single systemic defect cannot flood the output) and
+// produces a LintReport: the retained diagnostics plus *exact* per-rule and
+// per-severity totals, including findings the cap dropped.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scap::lint {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+/// What a diagnostic points at: a netlist object (net/gate/flop), a scan
+/// chain, a pattern index, or the test context itself. `name` uses net names
+/// for nets and the Verilog writer's instance naming ("b<block>_g<id>",
+/// "b<block>_f<id>") for gates and flops, so findings line up with emitted
+/// netlists.
+struct Location {
+  std::string kind;
+  std::uint32_t id = 0;
+  std::string name;
+};
+
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  Location loc;
+  std::string message;
+  std::string fix_hint;
+};
+
+struct LintConfig {
+  /// Diagnostics retained per rule; exact totals survive in rule_counts.
+  /// 0 = unlimited.
+  std::size_t max_per_rule = 25;
+  /// Rule ids to skip entirely (not run, not counted).
+  std::vector<std::string> disabled;
+  /// Per-rule severity overrides (rule id -> severity).
+  std::vector<std::pair<std::string, Severity>> severity_overrides;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+  /// Exact finding count per fired rule (insertion order).
+  std::vector<std::pair<std::string, std::size_t>> rule_counts;
+  std::size_t errors = 0;    ///< exact, including capped findings
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  std::size_t suppressed = 0;  ///< findings dropped by max_per_rule
+
+  bool has_errors() const { return errors > 0; }
+  std::size_t total() const { return errors + warnings + infos; }
+  std::size_t count(std::string_view rule) const;
+};
+
+class Diagnostics {
+ public:
+  explicit Diagnostics(const LintConfig& cfg) : cfg_(&cfg) {}
+
+  /// False when the config disables the rule -- checks use this to skip
+  /// whole analyses (e.g. the CDC fixpoint) instead of discarding findings.
+  bool rule_enabled(std::string_view rule) const;
+
+  /// Record a finding. Severity and fix hint come from the rule registry
+  /// (lint/rules.h), subject to the config's overrides; unknown rule ids are
+  /// a programming error and throw.
+  void add(std::string_view rule, Location loc, std::string message);
+
+  LintReport finish() &&;
+
+ private:
+  const LintConfig* cfg_;
+  LintReport report_;
+};
+
+}  // namespace scap::lint

@@ -1,0 +1,146 @@
+// Report emission: human text, machine JSON, and SARIF 2.1.0.
+//
+// JSON/SARIF use the same escaping as the obs artifacts (obs/report.h) and
+// round-trip through the obs/json.h reader (tests/lint_test.cpp). The SARIF
+// output carries one run with logical locations -- netlist objects have no
+// file/line, so `kind name` is the stable coordinate.
+#include <string>
+
+#include "lint/lint.h"
+#include "obs/report.h"
+
+namespace scap::lint {
+
+namespace {
+
+const char* sarif_level(Severity s) {
+  switch (s) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "note";
+  }
+  return "none";
+}
+
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  out += obs::json_escape(s);
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_text(const LintReport& rep) {
+  std::string out;
+  for (const Diagnostic& d : rep.diagnostics) {
+    out += severity_name(d.severity);
+    out += " [";
+    out += d.rule;
+    out += "] ";
+    out += d.message;
+    out += "\n";
+    if (!d.fix_hint.empty()) {
+      out += "  hint: ";
+      out += d.fix_hint;
+      out += "\n";
+    }
+  }
+  if (!rep.rule_counts.empty()) {
+    out += "per rule:";
+    for (const auto& [id, n] : rep.rule_counts) {
+      out += " " + id + "=" + std::to_string(n);
+    }
+    out += "\n";
+  }
+  out += "scap_lint: " + std::to_string(rep.errors) + " error(s), " +
+         std::to_string(rep.warnings) + " warning(s), " +
+         std::to_string(rep.infos) + " info(s)";
+  if (rep.suppressed > 0) {
+    out += " (" + std::to_string(rep.suppressed) +
+           " finding(s) beyond the per-rule cap not shown)";
+  }
+  out += "\n";
+  return out;
+}
+
+std::string to_json(const LintReport& rep) {
+  std::string out = "{\"tool\":\"scap_lint\",\"schema_version\":1,";
+  out += "\"summary\":{\"errors\":" + std::to_string(rep.errors) +
+         ",\"warnings\":" + std::to_string(rep.warnings) +
+         ",\"infos\":" + std::to_string(rep.infos) +
+         ",\"suppressed\":" + std::to_string(rep.suppressed) + "},";
+  out += "\"rule_counts\":[";
+  for (std::size_t i = 0; i < rep.rule_counts.size(); ++i) {
+    if (i) out += ',';
+    out += "{\"rule\":";
+    append_quoted(out, rep.rule_counts[i].first);
+    out += ",\"count\":" + std::to_string(rep.rule_counts[i].second) + "}";
+  }
+  out += "],\"diagnostics\":[";
+  for (std::size_t i = 0; i < rep.diagnostics.size(); ++i) {
+    const Diagnostic& d = rep.diagnostics[i];
+    if (i) out += ',';
+    out += "{\"rule\":";
+    append_quoted(out, d.rule);
+    out += ",\"severity\":";
+    append_quoted(out, severity_name(d.severity));
+    out += ",\"kind\":";
+    append_quoted(out, d.loc.kind);
+    out += ",\"id\":" + std::to_string(d.loc.id) + ",\"name\":";
+    append_quoted(out, d.loc.name);
+    out += ",\"message\":";
+    append_quoted(out, d.message);
+    out += ",\"fix_hint\":";
+    append_quoted(out, d.fix_hint);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_sarif(const LintReport& rep) {
+  std::string out =
+      "{\"version\":\"2.1.0\",\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{";
+  out += "\"tool\":{\"driver\":{\"name\":\"scap_lint\","
+         "\"informationUri\":\"README.md#static-analysis--linting\","
+         "\"rules\":[";
+  // Index only the rules that fired, in rule_counts order.
+  for (std::size_t i = 0; i < rep.rule_counts.size(); ++i) {
+    if (i) out += ',';
+    const RuleInfo* info = find_rule(rep.rule_counts[i].first);
+    out += "{\"id\":";
+    append_quoted(out, rep.rule_counts[i].first);
+    out += ",\"shortDescription\":{\"text\":";
+    append_quoted(out, info != nullptr ? info->summary : "");
+    out += "},\"help\":{\"text\":";
+    append_quoted(out, info != nullptr ? info->fix_hint : "");
+    out += "}}";
+  }
+  out += "]}},\"results\":[";
+  for (std::size_t i = 0; i < rep.diagnostics.size(); ++i) {
+    const Diagnostic& d = rep.diagnostics[i];
+    if (i) out += ',';
+    std::size_t rule_index = 0;
+    for (std::size_t r = 0; r < rep.rule_counts.size(); ++r) {
+      if (rep.rule_counts[r].first == d.rule) rule_index = r;
+    }
+    out += "{\"ruleId\":";
+    append_quoted(out, d.rule);
+    out += ",\"ruleIndex\":" + std::to_string(rule_index) + ",\"level\":";
+    append_quoted(out, sarif_level(d.severity));
+    out += ",\"message\":{\"text\":";
+    append_quoted(out, d.message);
+    out += "},\"locations\":[{\"logicalLocations\":[{\"name\":";
+    append_quoted(out, d.loc.name);
+    out += ",\"kind\":";
+    append_quoted(out, d.loc.kind);
+    out += ",\"fullyQualifiedName\":";
+    append_quoted(out, d.loc.kind + " " + d.loc.name);
+    out += "}]}]}";
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace scap::lint

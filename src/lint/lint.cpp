@@ -1,0 +1,91 @@
+#include "lint/lint.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scap::lint {
+
+namespace {
+
+void record_metrics(const LintReport& rep) {
+  if (!obs::metrics_enabled()) return;
+  obs::count("lint.runs");
+  obs::count("lint.findings", rep.total());
+  obs::count("lint.errors", rep.errors);
+  obs::count("lint.warnings", rep.warnings);
+  obs::count("lint.infos", rep.infos);
+  for (const auto& [id, n] : rep.rule_counts) {
+    obs::count("lint.rule." + id, n);
+  }
+}
+
+}  // namespace
+
+LintReport run(const LintInput& in, const LintConfig& cfg) {
+  SCAP_TRACE_SCOPE("lint.run");
+  if (in.netlist == nullptr) {
+    throw std::invalid_argument("lint::run: input has no netlist");
+  }
+  Diagnostics diag(cfg);
+  check_structure(*in.netlist, diag);
+  if (!in.scan_chains.empty()) {
+    check_scan_chains(*in.netlist, in.scan_chains, diag);
+  }
+  check_patterns(in, diag);
+  LintReport rep = std::move(diag).finish();
+  record_metrics(rep);
+  return rep;
+}
+
+LintReport run(const Netlist& nl, const LintConfig& cfg) {
+  LintInput in;
+  in.netlist = &nl;
+  return run(in, cfg);
+}
+
+bool lint_enabled() {
+  if (const char* e = std::getenv("SCAP_LINT")) {
+    return !(e[0] == '0' && e[1] == '\0');
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+void debug_verify(const Netlist& nl, const char* where) {
+  if (!lint_enabled()) return;
+  LintConfig cfg;
+  cfg.max_per_rule = 4;  // the throw names only the first error anyway
+  const LintReport rep = run(nl, cfg);
+  if (!rep.has_errors()) return;
+  std::string msg = std::string("lint: ") + where + ": " +
+                    std::to_string(rep.errors) + " error(s)";
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.severity == Severity::kError) {
+      msg += "; first: [" + d.rule + "] " + d.message;
+      break;
+    }
+  }
+  throw std::runtime_error(msg);
+}
+
+namespace {
+
+// Netlist::finalize() verifies through this hook whenever the lint library
+// is linked in (the hook keeps scap_netlist free of an upward dependency).
+// lint.cpp is pulled into every binary that references lint::run or
+// lint::debug_verify -- which includes everything linking scap_core.
+[[maybe_unused]] const bool kVerifyHookInstalled = [] {
+  set_netlist_verify_hook(
+      [](const Netlist& nl) { debug_verify(nl, "Netlist::finalize"); });
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace scap::lint

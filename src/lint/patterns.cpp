@@ -1,0 +1,175 @@
+// Pattern / flow rules (lint/lint.h): launch-capture domain alignment,
+// X-consistency of filled patterns against their ATPG cubes, fill-policy
+// conformance of the stepwise plan's untargeted blocks, and SCAP-threshold
+// screening annotations.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace scap::lint {
+
+namespace {
+
+Location pattern_loc(std::size_t j) {
+  return Location{"pattern", static_cast<std::uint32_t>(j),
+                  "p" + std::to_string(j)};
+}
+
+std::string flop_ref(const Netlist& nl, FlopId f) {
+  return "b" + std::to_string(nl.flop(f).block) + "_f" + std::to_string(f);
+}
+
+/// Step owning pattern j under FlowResult-style step_start offsets.
+std::size_t step_of(std::span<const std::size_t> step_start, std::size_t j) {
+  std::size_t s = 0;
+  while (s + 1 < step_start.size() && step_start[s + 1] <= j) ++s;
+  return s;
+}
+
+void check_context(const LintInput& in, Diagnostics& diag) {
+  const Netlist& nl = *in.netlist;
+  const TestContext& ctx = *in.ctx;
+  if (ctx.active.size() != nl.num_flops()) {
+    diag.add(rule::kCaptureFlopDomain, Location{"context", 0, "ctx"},
+             "context active mask covers " +
+                 std::to_string(ctx.active.size()) +
+                 " flops but the netlist has " +
+                 std::to_string(nl.num_flops()));
+    return;
+  }
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    if (!ctx.active[f] || nl.flop(f).domain == ctx.domain) continue;
+    diag.add(rule::kCaptureFlopDomain, Location{"flop", f, flop_ref(nl, f)},
+             "flop " + flop_ref(nl, f) + " (domain " +
+                 std::to_string(nl.flop(f).domain) +
+                 ") is marked active but the context tests domain " +
+                 std::to_string(ctx.domain));
+  }
+}
+
+void check_fill_policy(const LintInput& in, Diagnostics& diag) {
+  const Netlist& nl = *in.netlist;
+  const PatternSet& ps = *in.patterns;
+  const std::size_t n = std::min(ps.patterns.size(), in.cubes.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& bits = ps.patterns[j].s1;
+    const auto& cube = in.cubes[j].s1;
+    if (cube.size() != bits.size()) continue;  // kPatternSizeMismatch's job
+    const std::size_t s = step_of(in.step_start, j);
+    if (s >= in.plan->steps.size()) continue;
+    const auto& targets = in.plan->steps[s].target_blocks;
+    // Aggregate deviations per block so one mis-filled pattern yields one
+    // finding per affected block, not thousands of per-cell lines.
+    std::vector<std::size_t> bad(nl.block_count(), 0);
+    const std::size_t nf = std::min<std::size_t>(nl.num_flops(), bits.size());
+    for (std::size_t v = 0; v < nf; ++v) {
+      if (cube[v] != kBitX) continue;
+      const BlockId b = nl.flop(static_cast<FlopId>(v)).block;
+      if (b < targets.size() && targets[b]) continue;  // targeted: any fill
+      const std::uint8_t expect =
+          v < in.quiet_state.size() ? in.quiet_state[v] : in.fill_value;
+      if (bits[v] != expect) ++bad[b];
+    }
+    for (std::size_t b = 0; b < bad.size(); ++b) {
+      if (bad[b] == 0) continue;
+      diag.add(rule::kFillNonconforming, pattern_loc(j),
+               "pattern " + std::to_string(j) + " (step " +
+                   std::to_string(s + 1) + "): " + std::to_string(bad[b]) +
+                   " don't-care cell(s) of untargeted block " +
+                   std::to_string(b) + " deviate from the " +
+                   (in.quiet_state.empty() ? "constant" : "quiet-state") +
+                   " fill");
+    }
+  }
+}
+
+void check_thresholds(const LintInput& in, Diagnostics& diag) {
+  const ScapThresholds& thr = *in.thresholds;
+  for (std::size_t j = 0; j < in.scap_reports.size(); ++j) {
+    const ScapReport& rep = in.scap_reports[j];
+    for (std::size_t b = 0; b < thr.block_mw.size(); ++b) {
+      if (!thr.violates(rep, b)) continue;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%.2f mW over the %.2f mW threshold",
+                    ScapThresholds::block_scap_mw(rep, b), thr.block_mw[b]);
+      diag.add(rule::kScapOverThreshold, pattern_loc(j),
+               "pattern " + std::to_string(j) + ": block " +
+                   std::to_string(b) + " SCAP is " + buf);
+    }
+  }
+}
+
+}  // namespace
+
+void check_patterns(const LintInput& in, Diagnostics& diag) {
+  const Netlist& nl = *in.netlist;
+  if (in.ctx != nullptr) check_context(in, diag);
+
+  if (in.patterns != nullptr) {
+    const PatternSet& ps = *in.patterns;
+    if (in.ctx != nullptr && ps.domain != in.ctx->domain) {
+      diag.add(rule::kPatternDomainMismatch, Location{"context", 0, "ctx"},
+               "pattern set targets domain " + std::to_string(ps.domain) +
+                   " but the context tests domain " +
+                   std::to_string(in.ctx->domain));
+    }
+    const std::size_t want =
+        in.ctx != nullptr ? in.ctx->num_vars() : nl.num_flops();
+    for (std::size_t j = 0; j < ps.patterns.size(); ++j) {
+      const auto& bits = ps.patterns[j].s1;
+      if (bits.size() != want) {
+        diag.add(rule::kPatternSizeMismatch, pattern_loc(j),
+                 "pattern " + std::to_string(j) + " has " +
+                     std::to_string(bits.size()) + " bits, expected " +
+                     std::to_string(want));
+        continue;
+      }
+      std::size_t xs = 0;
+      for (std::uint8_t b : bits) xs += b > 1 ? 1 : 0;
+      if (xs > 0) {
+        diag.add(rule::kPatternUnfilledX, pattern_loc(j),
+                 "pattern " + std::to_string(j) + " carries " +
+                     std::to_string(xs) + " unfilled don't-care bit(s)");
+      }
+    }
+    // X-consistency: fill may only assign the cube's don't-cares.
+    const std::size_t n = std::min(ps.patterns.size(), in.cubes.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& bits = ps.patterns[j].s1;
+      const auto& cube = in.cubes[j].s1;
+      if (cube.size() != bits.size()) {
+        diag.add(rule::kPatternSizeMismatch, pattern_loc(j),
+                 "cube " + std::to_string(j) + " has " +
+                     std::to_string(cube.size()) + " bits but its pattern has " +
+                     std::to_string(bits.size()));
+        continue;
+      }
+      std::size_t clobbered = 0;
+      std::size_t first = cube.size();
+      for (std::size_t v = 0; v < cube.size(); ++v) {
+        if (cube[v] != kBitX && cube[v] != bits[v]) {
+          if (clobbered == 0) first = v;
+          ++clobbered;
+        }
+      }
+      if (clobbered > 0) {
+        diag.add(rule::kPatternCareMismatch, pattern_loc(j),
+                 "pattern " + std::to_string(j) + " changes " +
+                     std::to_string(clobbered) +
+                     " ATPG care bit(s), first at variable " +
+                     std::to_string(first));
+      }
+    }
+    if (in.plan != nullptr && !in.step_start.empty() && !in.cubes.empty()) {
+      check_fill_policy(in, diag);
+    }
+  }
+
+  if (in.thresholds != nullptr && !in.scap_reports.empty()) {
+    check_thresholds(in, diag);
+  }
+}
+
+}  // namespace scap::lint

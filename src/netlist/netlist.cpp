@@ -12,7 +12,15 @@ namespace {
   throw std::runtime_error("netlist: " + msg);
 }
 
+NetlistVerifyHook g_verify_hook = nullptr;
+
 }  // namespace
+
+NetlistVerifyHook set_netlist_verify_hook(NetlistVerifyHook hook) {
+  NetlistVerifyHook prev = g_verify_hook;
+  g_verify_hook = hook;
+  return prev;
+}
 
 void Netlist::require_unfinalized() const {
   if (finalized_) fail("mutation after finalize()");
@@ -58,7 +66,8 @@ GateId Netlist::add_gate(CellType type, std::span<const NetId> inputs,
   check_arity(type, inputs.size());
   if (out >= nets_.size()) fail("add_gate: bad output net");
   Net& onet = nets_[out];
-  if (onet.driver_kind != DriverKind::kNone) fail("add_gate: multiple drivers on " + net_names_[out]);
+  const bool driven = onet.driver_kind != DriverKind::kNone;
+  if (driven && !permissive_) fail("add_gate: multiple drivers on " + net_names_[out]);
   for (NetId in : inputs) {
     if (in >= nets_.size()) fail("add_gate: bad input net");
   }
@@ -71,8 +80,10 @@ GateId Netlist::add_gate(CellType type, std::span<const NetId> inputs,
   g.block = block;
   gates_.push_back(g);
   gate_inputs_.insert(gate_inputs_.end(), inputs.begin(), inputs.end());
-  onet.driver_kind = DriverKind::kGate;
-  onet.driver = id;
+  if (!driven) {  // permissive mode keeps the first driver on conflicts
+    onet.driver_kind = DriverKind::kGate;
+    onet.driver = id;
+  }
   return id;
 }
 
@@ -81,16 +92,46 @@ FlopId Netlist::add_flop(NetId d, NetId q, DomainId domain, BlockId block,
   require_unfinalized();
   if (d >= nets_.size() || q >= nets_.size()) fail("add_flop: bad net id");
   Net& qnet = nets_[q];
-  if (qnet.driver_kind != DriverKind::kNone) fail("add_flop: multiple drivers on " + net_names_[q]);
+  const bool driven = qnet.driver_kind != DriverKind::kNone;
+  if (driven && !permissive_) fail("add_flop: multiple drivers on " + net_names_[q]);
   const FlopId id = static_cast<FlopId>(flops_.size());
   flops_.push_back(Flop{d, q, domain, block, neg_edge});
-  qnet.driver_kind = DriverKind::kFlop;
-  qnet.driver = id;
+  if (!driven) {
+    qnet.driver_kind = DriverKind::kFlop;
+    qnet.driver = id;
+  }
   return id;
 }
 
 void Netlist::finalize() {
   require_unfinalized();
+
+  // Recount drivers from the gate/flop tables rather than trusting the
+  // incrementally maintained driver fields: permissive construction (and any
+  // future bulk loader) can leave a net with several writers, and a
+  // multi-driven net would silently corrupt every downstream engine. The
+  // error aggregates all offenders so a bad parse is fixed in one pass.
+  {
+    std::vector<std::uint32_t> drivers(nets_.size(), 0);
+    for (NetId n : pis_) ++drivers[n];
+    for (const Gate& g : gates_) ++drivers[g.out];
+    for (const Flop& f : flops_) ++drivers[f.q];
+    std::string multi;
+    std::size_t n_multi = 0;
+    for (NetId n = 0; n < nets_.size(); ++n) {
+      if (drivers[n] <= 1) continue;
+      ++n_multi;
+      if (n_multi <= 8) {
+        multi += (n_multi > 1 ? ", " : "") + net_names_[n] + " (" +
+                 std::to_string(drivers[n]) + " drivers)";
+      }
+    }
+    if (n_multi > 0) {
+      if (n_multi > 8) multi += ", ...";
+      fail("finalize: " + std::to_string(n_multi) + " multi-driven net(s): " +
+           multi);
+    }
+  }
 
   // Every net must have a driver.
   for (NetId n = 0; n < nets_.size(); ++n) {
@@ -167,6 +208,7 @@ void Netlist::finalize() {
   });
 
   finalized_ = true;
+  if (g_verify_hook != nullptr) g_verify_hook(*this);
 }
 
 std::vector<std::vector<FlopId>> Netlist::flops_by_domain() const {

@@ -75,6 +75,14 @@ class Netlist {
   void set_block_count(std::uint16_t n) { block_count_ = n; }
   void set_domain_count(std::uint8_t n) { domain_count_ = n; }
 
+  /// Relaxed construction for lint tooling: add_gate/add_flop on an
+  /// already-driven net record the first driver and keep going instead of
+  /// throwing, so scap_lint can report *every* violation in a malformed
+  /// design at once. finalize() still rejects such netlists (it recounts
+  /// drivers from the gate/flop tables).
+  void set_permissive(bool on) { permissive_ = on; }
+  bool permissive() const { return permissive_; }
+
   /// Build fanout maps, levelize, and validate. Throws std::runtime_error on
   /// multiple drivers, undriven nets, arity mismatches or combinational loops.
   void finalize();
@@ -143,6 +151,14 @@ class Netlist {
   std::uint16_t block_count_ = 1;
   std::uint8_t domain_count_ = 1;
   bool finalized_ = false;
+  bool permissive_ = false;
 };
+
+/// Optional verification callback finalize() invokes after a netlist passes
+/// its built-in checks. The lint library (lint/lint.h) installs an env-gated
+/// structural lint here when linked; the indirection keeps scap_netlist free
+/// of an upward dependency. Returns the previously installed hook.
+using NetlistVerifyHook = void (*)(const Netlist&);
+NetlistVerifyHook set_netlist_verify_hook(NetlistVerifyHook hook);
 
 }  // namespace scap

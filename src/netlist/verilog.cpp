@@ -160,7 +160,11 @@ class Lexer {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : lex_(text) { advance(); }
+  explicit Parser(std::string_view text, bool relaxed = false)
+      : lex_(text), relaxed_(relaxed) {
+    nl_.set_permissive(relaxed);
+    advance();
+  }
 
   Netlist parse() {
     expect_ident("module");
@@ -194,8 +198,15 @@ class Parser {
       }
     }
 
-    nl_.set_domain_count(
-        static_cast<std::uint8_t>(std::max<std::size_t>(1, clock_ports_.size())));
+    // Domain count must cover both the declared clock ports and every domain
+    // a flop actually references: a "clk7" CK connection without a matching
+    // clk7 port used to leave domain_count too small, and flops_by_domain()
+    // then indexed out of bounds.
+    std::size_t domains = std::max<std::size_t>(1, clock_ports_.size());
+    for (FlopId f = 0; f < nl_.num_flops(); ++f) {
+      domains = std::max<std::size_t>(domains, nl_.flop(f).domain + 1u);
+    }
+    nl_.set_domain_count(static_cast<std::uint8_t>(domains));
     std::uint16_t max_block = 0;
     for (GateId g = 0; g < nl_.num_gates(); ++g) {
       max_block = std::max(max_block, nl_.gate(g).block);
@@ -205,7 +216,7 @@ class Parser {
     }
     nl_.set_block_count(static_cast<std::uint16_t>(max_block + 1));
     for (const std::string& po : outputs_) nl_.mark_output(find_net(po));
-    nl_.finalize();
+    if (!relaxed_) nl_.finalize();
     return std::move(nl_);
   }
 
@@ -316,7 +327,23 @@ class Parser {
       DomainId dom = 0;
       const std::string& ck = it->second;
       if (ck.rfind("clk", 0) == 0 && ck.size() > 3) {
-        dom = static_cast<DomainId>(std::stoi(ck.substr(3)));
+        // Parse the suffix by hand: std::stoi would escape as a bare
+        // std::invalid_argument (no line info) on names like "clk_late",
+        // and silently accept trailing junk like "clk0x". Non-numeric
+        // clock names fall back to domain 0.
+        std::uint32_t v = 0;
+        bool numeric = true;
+        for (std::size_t i = 3; i < ck.size(); ++i) {
+          if (!std::isdigit(static_cast<unsigned char>(ck[i]))) {
+            numeric = false;
+            break;
+          }
+          v = v * 10 + static_cast<std::uint32_t>(ck[i] - '0');
+        }
+        if (numeric) {
+          if (v > 0xff) error(inst + ": clock domain " + ck + " out of range");
+          dom = static_cast<DomainId>(v);
+        }
       }
       nl_.add_flop(d, q, dom, block, cell == "SDFFN");
       return;
@@ -333,6 +360,7 @@ class Parser {
 
   Lexer lex_;
   Token cur_;
+  bool relaxed_ = false;
   Netlist nl_;
   std::map<std::string, NetId> nets_;
   std::vector<std::string> outputs_;
@@ -342,5 +370,9 @@ class Parser {
 }  // namespace
 
 Netlist parse_verilog(std::string_view text) { return Parser(text).parse(); }
+
+Netlist parse_verilog_relaxed(std::string_view text) {
+  return Parser(text, /*relaxed=*/true).parse();
+}
 
 }  // namespace scap

@@ -29,4 +29,11 @@ std::string to_verilog(const Netlist& nl,
 /// Throws std::runtime_error with a line number on malformed input.
 Netlist parse_verilog(std::string_view text);
 
+/// Like parse_verilog, but for lint tooling: the netlist is built in
+/// permissive mode (multi-driven nets keep their first driver instead of
+/// aborting the parse) and is returned UNFINALIZED, so scap_lint can report
+/// every structural violation in a broken design instead of stopping at the
+/// first one. Syntax errors still throw.
+Netlist parse_verilog_relaxed(std::string_view text);
+
 }  // namespace scap

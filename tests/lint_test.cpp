@@ -1,0 +1,440 @@
+// scap-lint subsystem tests: each corrupted fixture must report exactly the
+// injected violation (right rule id, right severity, right location), the
+// clean fixtures must report nothing, and the JSON / SARIF emitters must
+// round-trip through the obs/json.h reader.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "netlist/netlist.h"
+#include "netlist/verilog.h"
+#include "obs/json.h"
+#include "soc/generator.h"
+
+namespace scap {
+namespace {
+
+using lint::LintConfig;
+using lint::LintInput;
+using lint::LintReport;
+using lint::Severity;
+
+Severity severity_of(const LintReport& rep, std::string_view rule) {
+  for (const auto& d : rep.diagnostics) {
+    if (d.rule == rule) return d.severity;
+  }
+  ADD_FAILURE() << "no diagnostic for rule " << rule;
+  return Severity::kInfo;
+}
+
+/// A minimal clean design: a -> g0 -> f0 -> g1 -> f1.
+Netlist clean_netlist() {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_net("n1");
+  const NetId q0 = nl.add_net("q0");
+  const NetId n2 = nl.add_net("n2");
+  const NetId q1 = nl.add_net("q1");
+  const NetId in0[] = {a};
+  nl.add_gate(CellType::kBuf, in0, n1);
+  nl.add_flop(n1, q0, /*domain=*/0, /*block=*/0);
+  const NetId in1[] = {q0};
+  nl.add_gate(CellType::kBuf, in1, n2);
+  nl.add_flop(n2, q1, /*domain=*/0, /*block=*/0);
+  nl.mark_output(q1);
+  return nl;
+}
+
+// ---------------------------------------------------------------------------
+// Corrupted fixtures: exactly one rule fires, with the injected location.
+// ---------------------------------------------------------------------------
+
+TEST(LintFixtures, InjectedCombLoop) {
+  // a AND y -> x, x BUF -> y: a two-gate cycle fed by a primary input.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId x = nl.add_net("x");
+  const NetId y = nl.add_net("y");
+  const NetId in0[] = {a, y};
+  nl.add_gate(CellType::kAnd2, in0, x);
+  const NetId in1[] = {x};
+  nl.add_gate(CellType::kBuf, in1, y);
+  nl.mark_output(x);
+  nl.mark_output(y);
+
+  const LintReport rep = lint::run(nl);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kCombLoop), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kCombLoop), Severity::kError);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "gate");
+  EXPECT_EQ(rep.diagnostics[0].loc.id, 0u);  // lowest gate of the cycle
+  EXPECT_NE(rep.diagnostics[0].message.find("b0_g0 -> b0_g1"),
+            std::string::npos)
+      << rep.diagnostics[0].message;
+}
+
+TEST(LintFixtures, InjectedDoubleDriver) {
+  Netlist nl;
+  nl.set_permissive(true);  // strict mode would throw at add_gate
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_net("y");
+  const NetId in0[] = {a};
+  nl.add_gate(CellType::kBuf, in0, y);
+  const NetId in1[] = {b};
+  nl.add_gate(CellType::kInv, in1, y);
+  nl.mark_output(y);
+
+  const LintReport rep = lint::run(nl);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kNetMultiDriven), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kNetMultiDriven), Severity::kError);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "net");
+  EXPECT_EQ(rep.diagnostics[0].loc.name, "y");
+  EXPECT_NE(rep.diagnostics[0].message.find("2 drivers"), std::string::npos);
+}
+
+TEST(LintFixtures, InjectedFloatingInput) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId fl = nl.add_net("fl");  // never driven
+  const NetId y = nl.add_net("y");
+  const NetId in0[] = {a, fl};
+  nl.add_gate(CellType::kAnd2, in0, y);
+  nl.mark_output(y);
+
+  const LintReport rep = lint::run(nl);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kGateFloatingInput), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kGateFloatingInput),
+            Severity::kError);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "gate");
+  EXPECT_EQ(rep.diagnostics[0].loc.name, "b0_g0");
+  EXPECT_NE(rep.diagnostics[0].message.find("input 1"), std::string::npos)
+      << rep.diagnostics[0].message;
+}
+
+TEST(LintFixtures, InjectedBrokenScanChain) {
+  Netlist nl = clean_netlist();
+  nl.finalize();
+  // Flop 1 is left off every chain.
+  const std::vector<std::vector<FlopId>> chains = {{0}};
+
+  LintInput in;
+  in.netlist = &nl;
+  in.scan_chains = chains;
+  const LintReport rep = lint::run(in);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kScanMissingFlop), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kScanMissingFlop), Severity::kError);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "flop");
+  EXPECT_EQ(rep.diagnostics[0].loc.id, 1u);
+}
+
+TEST(LintFixtures, InjectedCrossDomainCapture) {
+  // A domain-1 flop's output feeds the D cone of a domain-0 flop.
+  Netlist nl;
+  nl.set_domain_count(2);
+  const NetId a = nl.add_input("a");
+  const NetId q0 = nl.add_net("q0");
+  const NetId n1 = nl.add_net("n1");
+  nl.add_flop(/*d=*/a, q0, /*domain=*/1, /*block=*/0);
+  const NetId in0[] = {a, q0};
+  nl.add_gate(CellType::kAnd2, in0, n1);
+  const NetId q1 = nl.add_net("q1");
+  nl.add_flop(n1, q1, /*domain=*/0, /*block=*/0);
+
+  const LintReport rep = lint::run(nl);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kCdcCombPath), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kCdcCombPath), Severity::kWarning);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "flop");
+  EXPECT_EQ(rep.diagnostics[0].loc.id, 1u);
+  EXPECT_NE(rep.diagnostics[0].message.find("domain(s) 1"), std::string::npos);
+}
+
+TEST(LintFixtures, InjectedFillPolicyViolation) {
+  // Two flops in two blocks; the plan's only step targets block 0, fill-0
+  // applies elsewhere -- but the don't-care cell of block 1 is filled with 1.
+  Netlist nl;
+  nl.set_block_count(2);
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_net("n1");
+  const NetId q0 = nl.add_net("q0");
+  const NetId n2 = nl.add_net("n2");
+  const NetId q1 = nl.add_net("q1");
+  const NetId in0[] = {a};
+  nl.add_gate(CellType::kBuf, in0, n1);
+  nl.add_flop(n1, q0, /*domain=*/0, /*block=*/0);
+  const NetId in1[] = {q0};
+  nl.add_gate(CellType::kBuf, in1, n2);
+  nl.add_flop(n2, q1, /*domain=*/0, /*block=*/1);
+  nl.mark_output(q1);
+  nl.finalize();
+
+  PatternSet ps;
+  ps.patterns.push_back(Pattern{{1, 1}});  // var 1 should be fill-0
+  std::vector<TestCube> cubes(1);
+  cubes[0].s1 = {1, kBitX};
+  StepPlan plan;
+  plan.steps.push_back(StepPlan::Step{{1, 0}, 1.0});
+  const std::size_t step_start[] = {0};
+
+  LintInput in;
+  in.netlist = &nl;
+  in.patterns = &ps;
+  in.cubes = cubes;
+  in.plan = &plan;
+  in.step_start = step_start;
+  in.fill_value = 0;
+  const LintReport rep = lint::run(in);
+  ASSERT_EQ(rep.total(), 1u) << lint::to_text(rep);
+  EXPECT_EQ(rep.count(lint::rule::kFillNonconforming), 1u);
+  EXPECT_EQ(severity_of(rep, lint::rule::kFillNonconforming),
+            Severity::kError);
+  EXPECT_EQ(rep.diagnostics[0].loc.kind, "pattern");
+  EXPECT_EQ(rep.diagnostics[0].loc.id, 0u);
+  EXPECT_NE(rep.diagnostics[0].message.find("untargeted block 1"),
+            std::string::npos)
+      << rep.diagnostics[0].message;
+}
+
+// ---------------------------------------------------------------------------
+// Clean fixtures.
+// ---------------------------------------------------------------------------
+
+TEST(LintClean, HandBuiltNetlistHasNoFindings) {
+  Netlist nl = clean_netlist();
+  nl.finalize();
+  const LintReport rep = lint::run(nl);
+  EXPECT_EQ(rep.total(), 0u) << lint::to_text(rep);
+}
+
+TEST(LintClean, GeneratedSocHasNoErrors) {
+  const SocDesign soc = build_soc(SocConfig::tiny());
+  LintInput in;
+  in.netlist = &soc.netlist;
+  in.scan_chains = soc.scan.chains;
+  const LintReport rep = lint::run(in);
+  EXPECT_EQ(rep.errors, 0u) << lint::to_text(rep);
+}
+
+// ---------------------------------------------------------------------------
+// Configuration: disables, overrides, caps.
+// ---------------------------------------------------------------------------
+
+TEST(LintConfigTest, DisabledRuleDoesNotFire) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId fl = nl.add_net("fl");
+  const NetId y = nl.add_net("y");
+  const NetId in0[] = {a, fl};
+  nl.add_gate(CellType::kAnd2, in0, y);
+  nl.mark_output(y);
+
+  LintConfig cfg;
+  cfg.disabled.emplace_back(lint::rule::kGateFloatingInput);
+  const LintReport rep = lint::run(nl, cfg);
+  EXPECT_EQ(rep.total(), 0u) << lint::to_text(rep);
+}
+
+TEST(LintConfigTest, SeverityOverrideApplies) {
+  Netlist nl;
+  nl.set_domain_count(2);
+  const NetId a = nl.add_input("a");
+  const NetId q0 = nl.add_net("q0");
+  const NetId n1 = nl.add_net("n1");
+  nl.add_flop(a, q0, 1, 0);
+  const NetId in0[] = {a, q0};
+  nl.add_gate(CellType::kAnd2, in0, n1);
+  const NetId q1 = nl.add_net("q1");
+  nl.add_flop(n1, q1, 0, 0);
+
+  LintConfig cfg;
+  cfg.severity_overrides.emplace_back(std::string(lint::rule::kCdcCombPath),
+                                      Severity::kError);
+  const LintReport rep = lint::run(nl, cfg);
+  ASSERT_EQ(rep.total(), 1u);
+  EXPECT_EQ(rep.errors, 1u);
+  EXPECT_TRUE(rep.has_errors());
+}
+
+TEST(LintConfigTest, PerRuleCapKeepsExactCounts) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId fl = nl.add_net("fl");
+  for (int i = 0; i < 5; ++i) {
+    std::string name = "y";
+    name += std::to_string(i);  // two steps: gcc-12 -Wrestrict false positive
+    const NetId y = nl.add_net(std::move(name));
+    const NetId ins[] = {a, fl};
+    nl.add_gate(CellType::kAnd2, ins, y);
+    nl.mark_output(y);
+  }
+  LintConfig cfg;
+  cfg.max_per_rule = 2;
+  const LintReport rep = lint::run(nl, cfg);
+  EXPECT_EQ(rep.diagnostics.size(), 2u);
+  EXPECT_EQ(rep.count(lint::rule::kGateFloatingInput), 5u);  // exact
+  EXPECT_EQ(rep.errors, 5u);
+  EXPECT_EQ(rep.suppressed, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Netlist / parser hardening (the bugs this subsystem exposed).
+// ---------------------------------------------------------------------------
+
+TEST(LintNetlist, FinalizeRejectsMultiDriven) {
+  Netlist nl;
+  nl.set_permissive(true);
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_net("y");
+  const NetId in0[] = {a};
+  nl.add_gate(CellType::kBuf, in0, y);
+  const NetId in1[] = {b};
+  nl.add_gate(CellType::kInv, in1, y);
+  nl.mark_output(y);
+  try {
+    nl.finalize();
+    FAIL() << "finalize accepted a multi-driven net";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("multi-driven"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("y"), std::string::npos);
+  }
+}
+
+TEST(LintNetlist, VerifyHookIsInstalled) {
+  // The lint library's static registrar must have installed a hook; restore
+  // whatever we displaced so other tests keep their guard.
+  NetlistVerifyHook prev = set_netlist_verify_hook(nullptr);
+  EXPECT_NE(prev, nullptr);
+  set_netlist_verify_hook(prev);
+}
+
+TEST(LintNetlist, RelaxedParseSurvivesDoubleDriver) {
+  const char* src =
+      "module t (a, b, clk0, y);\n"
+      "  input a;\n  input b;\n  input clk0;\n  output y;\n"
+      "  wire y;\n"
+      "  BUF b0_g0 (.Y(y), .A(a));\n"
+      "  INV b0_g1 (.Y(y), .A(b));\n"
+      "endmodule\n";
+  EXPECT_THROW((void)parse_verilog(src), std::runtime_error);
+  const Netlist nl = parse_verilog_relaxed(src);
+  EXPECT_FALSE(nl.finalized());
+  const LintReport rep = lint::run(nl);
+  EXPECT_EQ(rep.count(lint::rule::kNetMultiDriven), 1u);
+}
+
+TEST(LintNetlist, ParserHandlesNonNumericClockName) {
+  // "clk_late" used to escape as a bare std::invalid_argument from stoi.
+  const char* src =
+      "module t (a, clk0, y);\n"
+      "  input a;\n  input clk0;\n  output y;\n"
+      "  wire y;\n  wire d;\n"
+      "  BUF b0_g0 (.Y(d), .A(a));\n"
+      "  SDFF b0_f0 (.Q(y), .D(d), .CK(clk_late));\n"
+      "endmodule\n";
+  const Netlist nl = parse_verilog_relaxed(src);
+  EXPECT_EQ(nl.flop(0).domain, 0);  // falls back to domain 0
+}
+
+TEST(LintNetlist, ParserCoversUndeclaredClockDomains) {
+  // A CK connection to clk3 without a clk3 port must still be covered by
+  // domain_count (flops_by_domain used to index out of bounds).
+  const char* src =
+      "module t (a, clk0, y);\n"
+      "  input a;\n  input clk0;\n  output y;\n"
+      "  wire y;\n  wire d;\n"
+      "  BUF b0_g0 (.Y(d), .A(a));\n"
+      "  SDFF b0_f0 (.Q(y), .D(d), .CK(clk3));\n"
+      "endmodule\n";
+  const Netlist nl = parse_verilog_relaxed(src);
+  EXPECT_EQ(nl.domain_count(), 4);
+  EXPECT_EQ(nl.flops_by_domain().at(3).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Emission round-trips.
+// ---------------------------------------------------------------------------
+
+LintReport fixture_report() {
+  Netlist nl;
+  nl.set_permissive(true);
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId y = nl.add_net(R"(we"ird\name)");  // exercise escaping
+  const NetId in0[] = {a};
+  nl.add_gate(CellType::kBuf, in0, y);
+  const NetId in1[] = {b};
+  nl.add_gate(CellType::kInv, in1, y);
+  nl.mark_output(y);
+  return lint::run(nl);
+}
+
+TEST(LintEmit, JsonRoundTrip) {
+  const LintReport rep = fixture_report();
+  const std::string text = lint::to_json(rep);
+  auto v = obs::json::parse(text);
+  ASSERT_TRUE(v.has_value()) << text;
+  EXPECT_EQ(v->find("tool")->string, "scap_lint");
+  EXPECT_EQ(v->find("summary")->find("errors")->number, 1.0);
+  const auto& diags = v->find("diagnostics")->array;
+  ASSERT_EQ(diags.size(), rep.diagnostics.size());
+  EXPECT_EQ(diags[0].find("rule")->string, lint::rule::kNetMultiDriven);
+  EXPECT_EQ(diags[0].find("severity")->string, "error");
+  EXPECT_EQ(diags[0].find("name")->string, R"(we"ird\name)");
+  // parse(dump(parse(x))) == parse(x): canonical re-serialization is stable.
+  auto v2 = obs::json::parse(v->dump());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_TRUE(*v == *v2);
+}
+
+TEST(LintEmit, SarifRoundTrip) {
+  const LintReport rep = fixture_report();
+  const std::string text = lint::to_sarif(rep);
+  auto v = obs::json::parse(text);
+  ASSERT_TRUE(v.has_value()) << text;
+  EXPECT_EQ(v->find("version")->string, "2.1.0");
+  const auto& runs = v->find("runs")->array;
+  ASSERT_EQ(runs.size(), 1u);
+  const auto* driver = runs[0].find("tool")->find("driver");
+  EXPECT_EQ(driver->find("name")->string, "scap_lint");
+  const auto& rules = driver->find("rules")->array;
+  const auto& results = runs[0].find("results")->array;
+  ASSERT_EQ(results.size(), rep.diagnostics.size());
+  for (const auto& res : results) {
+    EXPECT_EQ(res.find("level")->string, "error");
+    const auto idx = static_cast<std::size_t>(res.find("ruleIndex")->number);
+    ASSERT_LT(idx, rules.size());
+    EXPECT_EQ(rules[idx].find("id")->string, res.find("ruleId")->string);
+  }
+  auto v2 = obs::json::parse(v->dump());
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_TRUE(*v == *v2);
+}
+
+TEST(LintEmit, TextMentionsRuleAndHint) {
+  const LintReport rep = fixture_report();
+  const std::string text = lint::to_text(rep);
+  EXPECT_NE(text.find("error [net-multi-driven]"), std::string::npos) << text;
+  EXPECT_NE(text.find("hint:"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s)"), std::string::npos);
+}
+
+TEST(LintRegistry, AllRulesResolvable) {
+  for (const lint::RuleInfo& r : lint::all_rules()) {
+    EXPECT_EQ(lint::find_rule(r.id), &r);
+    EXPECT_FALSE(r.summary.empty());
+    EXPECT_FALSE(r.fix_hint.empty());
+  }
+  EXPECT_EQ(lint::find_rule("no-such-rule"), nullptr);
+  EXPECT_GE(lint::all_rules().size(), 21u);
+}
+
+}  // namespace
+}  // namespace scap

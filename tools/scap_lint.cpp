@@ -1,0 +1,158 @@
+// scap_lint -- command-line front end of the static-analysis subsystem
+// (src/lint/lint.h).
+//
+// Lints either a structural Verilog netlist (--verilog, parsed in relaxed
+// mode so every violation is reported instead of the first one aborting the
+// parse) or the generated SOC design (--soc-scale, which also checks the
+// stitched scan chains). Reports as human text, JSON, or SARIF 2.1.0.
+//
+// Exit codes: 0 = no findings at or above --fail-on, 1 = findings,
+// 2 = usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "lint/lint.h"
+#include "netlist/verilog.h"
+#include "soc/generator.h"
+
+namespace {
+
+using namespace scap;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --verilog FILE     lint a structural Verilog netlist\n"
+               "  --soc-scale S      lint the generated SOC at scale S "
+               "(default 0.1; used when no --verilog)\n"
+               "  --seed N           SOC generator seed (default 2007)\n"
+               "  --format FMT       text | json | sarif (default text)\n"
+               "  --output FILE      write the report to FILE (default stdout)\n"
+               "  --fail-on LEVEL    error | warning | never: findings at or\n"
+               "                     above LEVEL exit 1 (default error)\n"
+               "  --max-per-rule N   diagnostics retained per rule, 0 = all "
+               "(default 25)\n"
+               "  --disable RULE     skip a rule id (repeatable)\n"
+               "  --list-rules       print the rule registry and exit\n",
+               argv0);
+  return 2;
+}
+
+void list_rules() {
+  for (const lint::RuleInfo& r : lint::all_rules()) {
+    std::printf("%-24s %-8s %s\n", std::string(r.id).c_str(),
+                lint::severity_name(r.severity), std::string(r.summary).c_str());
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string verilog_path;
+  double soc_scale = 0.1;
+  std::uint64_t seed = 2007;
+  std::string format = "text";
+  std::string output_path;
+  std::string fail_on = "error";
+  lint::LintConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--verilog") {
+      verilog_path = value();
+    } else if (arg == "--soc-scale") {
+      soc_scale = std::atof(value());
+    } else if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--format") {
+      format = value();
+    } else if (arg == "--output") {
+      output_path = value();
+    } else if (arg == "--fail-on") {
+      fail_on = value();
+    } else if (arg == "--max-per-rule") {
+      cfg.max_per_rule = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--disable") {
+      cfg.disabled.emplace_back(value());
+    } else if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0], arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "%s: bad --format '%s'\n", argv[0], format.c_str());
+    return 2;
+  }
+  if (fail_on != "error" && fail_on != "warning" && fail_on != "never") {
+    std::fprintf(stderr, "%s: bad --fail-on '%s'\n", argv[0], fail_on.c_str());
+    return 2;
+  }
+
+  try {
+    lint::LintReport rep;
+    if (!verilog_path.empty()) {
+      const Netlist nl = parse_verilog_relaxed(read_file(verilog_path));
+      rep = lint::run(nl, cfg);
+    } else {
+      SocConfig sc = SocConfig::turbo_eagle_scaled(soc_scale);
+      sc.seed = seed;
+      const SocDesign soc = build_soc(sc);
+      lint::LintInput in;
+      in.netlist = &soc.netlist;
+      in.scan_chains = soc.scan.chains;
+      rep = lint::run(in, cfg);
+    }
+
+    std::string text;
+    if (format == "json") {
+      text = lint::to_json(rep);
+    } else if (format == "sarif") {
+      text = lint::to_sarif(rep);
+    } else {
+      text = lint::to_text(rep);
+    }
+    if (output_path.empty()) {
+      std::cout << text;
+      if (!text.empty() && text.back() != '\n') std::cout << '\n';
+    } else {
+      std::ofstream os(output_path, std::ios::binary);
+      if (!os) throw std::runtime_error("cannot write " + output_path);
+      os << text;
+    }
+
+    if (fail_on == "never") return 0;
+    if (fail_on == "warning" && rep.errors + rep.warnings > 0) return 1;
+    if (fail_on == "error" && rep.has_errors()) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scap_lint: %s\n", e.what());
+    return 2;
+  }
+}
