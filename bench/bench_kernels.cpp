@@ -1,7 +1,17 @@
-// Micro-benchmarks of the library's computational kernels.
+// Micro-benchmarks of the library's computational kernels, plus a
+// thread-scaling sweep of the rt-parallelized kernels.
 #include "bench_common.h"
 
+#include <chrono>
+#include <functional>
+#include <iterator>
+#include <span>
+#include <thread>
+
+#include "atpg/fault_sim.h"
+#include "obs/metrics.h"
 #include "power/dynamic_ir.h"
+#include "rt/thread_pool.h"
 #include "sim/logic_sim.h"
 #include "util/rng.h"
 
@@ -98,11 +108,99 @@ void BM_ClockTreeSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_ClockTreeSynthesis)->Unit(benchmark::kMillisecond);
 
+double wall_ms(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Strong-scaling sweep of the three rt-parallelized kernels at 1/2/4/8
+/// global pool threads. Speedup and parallel efficiency (vs the 1-thread
+/// run of the same kernel) are printed and recorded as obs gauges, so they
+/// land in BENCH_kernels.json. On a machine with fewer physical cores than
+/// the sweep point the extra threads just time-slice; efficiency then reads
+/// below 1/T by design, not by defect.
+void run_thread_scaling_sweep() {
+  const Experiment& exp = bench::experiment();
+  const Netlist& nl = exp.soc.netlist;
+
+  const PatternSet pats = random_pattern_set(192, exp.ctx.num_vars(), 2007);
+  const std::span<const Pattern> scap_pats =
+      std::span<const Pattern>(pats.patterns)
+          .first(std::min<std::size_t>(24, pats.size()));
+
+  PowerGridOptions gopt;
+  gopt.nx = 128;
+  gopt.ny = 128;
+  const PowerGrid big_grid(exp.soc.floorplan, gopt);
+  std::vector<Point> where;
+  std::vector<double> amps;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    where.push_back(exp.soc.placement.gate_pos(g));
+    amps.push_back(2e-6 * static_cast<double>(1 + g % 5));
+  }
+
+  struct Kernel {
+    const char* name;
+    std::function<void()> body;
+  };
+  const Kernel kernels[] = {
+      {"faultsim_grade",
+       [&] {
+         FaultSimulator fsim(nl, exp.ctx);
+         auto first = fsim.grade(pats.patterns, exp.faults);
+         benchmark::DoNotOptimize(first.data());
+       }},
+      {"grid_solve_128x128",
+       [&] {
+         benchmark::DoNotOptimize(
+             big_grid.solve(where, amps, /*vdd_rail=*/true).iterations);
+       }},
+      {"scap_fanout",
+       [&] {
+         benchmark::DoNotOptimize(
+             scap_profile_patterns(exp.soc, *exp.lib, exp.ctx, scap_pats)
+                 .size());
+       }},
+  };
+  constexpr std::size_t kThreads[] = {1, 2, 4, 8};
+
+  std::printf("\nThread-scaling sweep (%u hardware threads on this host):\n",
+              std::thread::hardware_concurrency());
+  TextTable table({"kernel", "t=1 ms", "t=2 ms", "t=4 ms", "t=8 ms",
+                   "speedup@4", "efficiency@4"});
+  for (const Kernel& k : kernels) {
+    double ms[std::size(kThreads)];
+    for (std::size_t i = 0; i < std::size(kThreads); ++i) {
+      rt::ThreadPool::set_global_concurrency(kThreads[i]);
+      k.body();  // warm-up: fault caches, page in buffers
+      ms[i] = wall_ms(k.body);
+      obs::observe("rt.sweep." + std::string(k.name) + ".t" +
+                       std::to_string(kThreads[i]) + "_ms",
+                   ms[i]);
+    }
+    const double speedup4 = ms[2] > 0.0 ? ms[0] / ms[2] : 0.0;
+    obs::observe("rt.sweep." + std::string(k.name) + ".t4_speedup", speedup4);
+    obs::observe("rt.sweep." + std::string(k.name) + ".t4_efficiency",
+                 speedup4 / 4.0);
+    table.add_row({k.name, TextTable::num(ms[0], 1), TextTable::num(ms[1], 1),
+                   TextTable::num(ms[2], 1), TextTable::num(ms[3], 1),
+                   TextTable::num(speedup4, 2),
+                   TextTable::num(speedup4 / 4.0, 2)});
+  }
+  rt::ThreadPool::set_global_concurrency(0);  // back to the env default
+  std::printf("%s\n", table.render().c_str());
+}
+
 }  // namespace
 }  // namespace scap
 
 int main(int argc, char** argv) {
   scap::bench::BenchRun run("kernels", "Kernels", "micro-benchmarks of the core engines");
+  run.phase("thread_scaling");
+  scap::run_thread_scaling_sweep();
   run.phase("microbench");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

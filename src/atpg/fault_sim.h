@@ -44,6 +44,11 @@ class FaultSimulator {
   /// dropping. Returns, per fault, the index of the first detecting pattern
   /// (or SIZE_MAX if undetected); optionally accumulates per-pattern counts
   /// of first-detections (the coverage-curve increments).
+  ///
+  /// Large runs shard the fault list across the rt thread pool (each shard
+  /// owns a private simulator and walks the batches with local fault
+  /// dropping); per-fault results are independent of the sharding, so the
+  /// output is bit-identical at any SCAP_THREADS.
   static constexpr std::size_t kUndetected = static_cast<std::size_t>(-1);
   std::vector<std::size_t> grade(std::span<const Pattern> patterns,
                                  std::span<const TdfFault> faults,
@@ -52,6 +57,13 @@ class FaultSimulator {
   std::size_t batch_size() const { return batch_size_; }
 
  private:
+  /// Serial grading of one fault shard: writes the first-detect index of
+  /// faults[i] into first_out[i]. Early-exits once every fault in the shard
+  /// has been detected (local drop list).
+  void grade_shard(std::span<const Pattern> patterns,
+                   std::span<const TdfFault> faults,
+                   std::span<std::size_t> first_out);
+
   const Netlist* nl_;
   const TestContext* ctx_;
   WordSim sim_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "rt/parallel.h"
+
 namespace scap {
 
 const char* fill_mode_name(FillMode m) {
@@ -136,6 +138,30 @@ Pattern apply_fill_per_block(const Netlist& nl, const TestCube& cube,
     fill_subset(p.s1, block_modes[b], rng, chains, quiet_state, &member);
   }
   return p;
+}
+
+PatternSet random_pattern_set(std::size_t n, std::size_t num_vars,
+                              std::uint64_t seed) {
+  // One jump stream per block of kBlock patterns: the stream a pattern draws
+  // from depends only on its index, so the parallel grain below MUST stay
+  // kBlock (chunk == stream granularity) for thread-count invariance.
+  constexpr std::size_t kBlock = 16;
+  PatternSet set;
+  set.patterns.resize(n);
+  rt::parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        Rng rng = Rng::stream(seed, begin / kBlock);
+        for (std::size_t p = begin; p < end; ++p) {
+          Pattern& pat = set.patterns[p];
+          pat.s1.resize(num_vars);
+          for (auto& bit : pat.s1) {
+            bit = static_cast<std::uint8_t>(rng() & 1);
+          }
+        }
+      },
+      rt::ForOptions{.grain = kBlock, .min_items = 1});
+  return set;
 }
 
 }  // namespace scap

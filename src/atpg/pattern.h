@@ -74,4 +74,11 @@ Pattern apply_fill_per_block(const Netlist& nl, const TestCube& cube,
                              std::span<const std::vector<FlopId>> chains = {},
                              std::span<const std::uint8_t> quiet_state = {});
 
+/// Fully random pattern set (bulk fill for SCAP screening workloads):
+/// n patterns of num_vars bits, filled in parallel with one xoshiro jump
+/// stream (Rng::stream) per fixed-size pattern block. The result is a pure
+/// function of (n, num_vars, seed) -- identical at any SCAP_THREADS.
+PatternSet random_pattern_set(std::size_t n, std::size_t num_vars,
+                              std::uint64_t seed);
+
 }  // namespace scap

@@ -3,23 +3,48 @@
 #include "atpg/fault_sim.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rt/parallel.h"
 
 namespace scap {
+
+std::vector<ScapReport> scap_profile_patterns(
+    const SocDesign& soc, const TechLibrary& lib, const TestContext& ctx,
+    std::span<const Pattern> patterns) {
+  SCAP_TRACE_SCOPE("scap.profile");
+  obs::count("scap.profiles");
+  obs::count("scap.profile_patterns", patterns.size());
+  std::vector<ScapReport> out(patterns.size());
+  const std::size_t threads = rt::concurrency();
+  if (threads <= 1 || patterns.size() < 2 ||
+      rt::ThreadPool::on_worker_thread()) {
+    PatternAnalyzer analyzer(soc, lib);
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+      out[i] = analyzer.analyze(ctx, patterns[i]).scap;
+    }
+    return out;
+  }
+  // One contiguous pattern shard per task; each shard builds its own
+  // PatternAnalyzer (the delay model / SCAP tables are a one-time cost
+  // amortized over the shard) and writes only its own slots of `out`.
+  const std::size_t n_shards = std::min(patterns.size(), threads * 2);
+  const std::size_t per = (patterns.size() + n_shards - 1) / n_shards;
+  rt::ThreadPool::global()->run_chunked(n_shards, [&](std::size_t s) {
+    const std::size_t b = s * per;
+    const std::size_t e = std::min(patterns.size(), b + per);
+    if (b >= e) return;
+    PatternAnalyzer analyzer(soc, lib);
+    for (std::size_t i = b; i < e; ++i) {
+      out[i] = analyzer.analyze(ctx, patterns[i]).scap;
+    }
+  });
+  return out;
+}
 
 std::vector<ScapReport> scap_profile(const SocDesign& soc,
                                      const TechLibrary& lib,
                                      const TestContext& ctx,
                                      const PatternSet& patterns) {
-  SCAP_TRACE_SCOPE("scap.profile");
-  obs::count("scap.profiles");
-  obs::count("scap.profile_patterns", patterns.size());
-  PatternAnalyzer analyzer(soc, lib);
-  std::vector<ScapReport> out;
-  out.reserve(patterns.size());
-  for (const Pattern& p : patterns.patterns) {
-    out.push_back(analyzer.analyze(ctx, p).scap);
-  }
-  return out;
+  return scap_profile_patterns(soc, lib, ctx, patterns.patterns);
 }
 
 IrValidationResult validate_pattern_ir(const SocDesign& soc,
@@ -70,7 +95,6 @@ RepairResult repair_scap_violations(const SocDesign& soc,
   out.patterns.domain = patterns.domain;
   out.patterns_before = patterns.size();
 
-  PatternAnalyzer analyzer(soc, lib);
   FaultSimulator fsim(soc.netlist, ctx);
   {
     const auto before = fsim.grade(patterns.patterns, faults, nullptr);
@@ -79,14 +103,16 @@ RepairResult repair_scap_violations(const SocDesign& soc,
     }
   }
 
-  // Keep only the clean patterns.
+  // Keep only the clean patterns (bulk screen fanned out across the pool).
   std::vector<Pattern> kept;
-  for (const Pattern& p : patterns.patterns) {
-    const ScapReport rep = analyzer.analyze(ctx, p).scap;
-    if (thresholds.violates(rep, hot_block)) {
-      ++out.violations_before;
-    } else {
-      kept.push_back(p);
+  {
+    const auto reports = scap_profile_patterns(soc, lib, ctx, patterns.patterns);
+    for (std::size_t i = 0; i < patterns.patterns.size(); ++i) {
+      if (thresholds.violates(reports[i], hot_block)) {
+        ++out.violations_before;
+      } else {
+        kept.push_back(patterns.patterns[i]);
+      }
     }
   }
 
@@ -113,10 +139,11 @@ RepairResult repair_scap_violations(const SocDesign& soc,
     const AtpgResult res = engine.run(faults, round_opt, &status);
 
     bool any_clean = false;
-    for (const Pattern& p : res.patterns.patterns) {
-      const ScapReport rep = analyzer.analyze(ctx, p).scap;
-      if (!thresholds.violates(rep, hot_block)) {
-        kept.push_back(p);
+    const auto reports =
+        scap_profile_patterns(soc, lib, ctx, res.patterns.patterns);
+    for (std::size_t i = 0; i < res.patterns.patterns.size(); ++i) {
+      if (!thresholds.violates(reports[i], hot_block)) {
+        kept.push_back(res.patterns.patterns[i]);
         any_clean = true;
       }
     }
@@ -130,8 +157,9 @@ RepairResult repair_scap_violations(const SocDesign& soc,
   for (auto idx : after) {
     out.detected_after += (idx != FaultSimulator::kUndetected);
   }
-  for (const Pattern& p : out.patterns.patterns) {
-    const ScapReport rep = analyzer.analyze(ctx, p).scap;
+  const auto final_reports =
+      scap_profile_patterns(soc, lib, ctx, out.patterns.patterns);
+  for (const ScapReport& rep : final_reports) {
     out.violations_after += thresholds.violates(rep, hot_block) ? 1 : 0;
   }
   return out;

@@ -11,6 +11,7 @@
 //    delay comparison of Figure 7.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "atpg/context.h"
@@ -30,6 +31,16 @@ std::vector<ScapReport> scap_profile(const SocDesign& soc,
                                      const TechLibrary& lib,
                                      const TestContext& ctx,
                                      const PatternSet& patterns);
+
+/// Span form of scap_profile, shared with the repair flow: analyzes every
+/// pattern (timing sim -> toggle trace -> SCAP) fanned out across the rt
+/// pool, one shard of patterns per task with a shard-private PatternAnalyzer.
+/// Report i depends only on pattern i, so the output is bit-identical at any
+/// SCAP_THREADS.
+std::vector<ScapReport> scap_profile_patterns(const SocDesign& soc,
+                                              const TechLibrary& lib,
+                                              const TestContext& ctx,
+                                              std::span<const Pattern> patterns);
 
 struct IrValidationResult {
   PatternAnalysis nominal;

@@ -46,7 +46,13 @@ struct GridSolution {
   Rect die;
   std::vector<double> drop_v;  ///< row-major node drops [V]
   std::uint32_t iterations = 0;
+  /// False when the sweep budget (max_iterations) ran out before the update
+  /// delta fell below tolerance_v; such a map may understate the true drops.
+  /// Non-converged solves bump the "power.grid_solve_nonconverged" obs
+  /// counter and log a warning -- never treat them as clean silently.
   bool converged = false;
+  /// Largest node update of the final sweep [V] (the convergence residual).
+  double final_delta_v = 0.0;
 
   double node(std::uint32_t ix, std::uint32_t iy) const {
     return drop_v[iy * nx + ix];

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "power/activity.h"
+#include "rt/parallel.h"
 
 namespace scap {
 
@@ -65,16 +66,25 @@ StatisticalReport analyze_statistical(
     }
   }
 
-  rep.vdd_solution = grid.solve(where, vdd_amps, /*vdd_rail=*/true);
-  rep.vss_solution = grid.solve(where, vss_amps, /*vdd_rail=*/false);
+  // The two rails are independent linear solves over the same injection
+  // sites; run them as a pair of rt tasks. Each solve writes only its own
+  // GridSolution, so the pairing cannot perturb either result.
+  rt::parallel_invoke(
+      [&] { rep.vdd_solution = grid.solve(where, vdd_amps, /*vdd_rail=*/true); },
+      [&] { rep.vss_solution = grid.solve(where, vss_amps, /*vdd_rail=*/false); });
 
   rep.block_worst_vdd_v.resize(nl.block_count());
   rep.block_worst_vss_v.resize(nl.block_count());
-  for (BlockId b = 0; b < nl.block_count(); ++b) {
-    const Rect r = b < fp.block_count() ? fp.block(b).rect : fp.die();
-    rep.block_worst_vdd_v[b] = rep.vdd_solution.worst_in(r);
-    rep.block_worst_vss_v[b] = rep.vss_solution.worst_in(r);
-  }
+  rt::parallel_for(
+      nl.block_count(),
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          const Rect r = b < fp.block_count() ? fp.block(b).rect : fp.die();
+          rep.block_worst_vdd_v[b] = rep.vdd_solution.worst_in(r);
+          rep.block_worst_vss_v[b] = rep.vss_solution.worst_in(r);
+        }
+      },
+      rt::ForOptions{.grain = 1, .min_items = 2});
   rep.chip_worst_vdd_v = rep.vdd_solution.worst();
   rep.chip_worst_vss_v = rep.vss_solution.worst();
   obs::count("power.statistical_runs");

@@ -1,0 +1,94 @@
+// Parallel loop and reduction primitives over the global work-stealing pool.
+//
+// Two chunking regimes:
+//  - parallel_for with grain=0 ("static"): the index range is split into a
+//    few chunks per thread. The chunk layout depends on the pool size, so it
+//    is only for bodies whose writes are element-indexed (chunk boundaries
+//    cannot influence the result).
+//  - explicit grain ("dynamic"): fixed chunks of `grain` elements feed the
+//    stealing scheduler for load balancing. parallel_transform_reduce always
+//    uses this regime: its chunk layout is a pure function of (n, grain),
+//    never of the thread count, and partial results are combined in chunk
+//    index order -- so floating-point reductions associate identically at
+//    every SCAP_THREADS value, including 1. That is the library-wide
+//    determinism contract (README "Parallel runtime").
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "rt/thread_pool.h"
+
+namespace scap::rt {
+
+struct ForOptions {
+  /// Elements per chunk; 0 = static split by pool concurrency.
+  std::size_t grain = 0;
+  /// Below this many elements the loop runs serially inline (parallel
+  /// dispatch overhead would dominate).
+  std::size_t min_items = 2;
+};
+
+/// Run body(begin, end) over disjoint subranges covering [0, n). Subranges
+/// execute on arbitrary threads; bodies must only write element-indexed
+/// state. With an explicit grain the subrange boundaries are the same fixed
+/// chunks of `grain` elements on EVERY path -- parallel, serial fallback,
+/// and nested -- so bodies whose behaviour depends on chunk boundaries
+/// (e.g. one RNG stream per chunk) stay thread-count invariant.
+inline void parallel_for(std::size_t n,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         ForOptions opt = {}) {
+  if (n == 0) return;
+  auto pool = ThreadPool::global();
+  const std::size_t threads = pool->concurrency();
+  if (n < opt.min_items || threads <= 1 || ThreadPool::on_worker_thread()) {
+    if (opt.grain == 0) {
+      body(0, n);
+    } else {
+      for (std::size_t b = 0; b < n; b += opt.grain) {
+        body(b, std::min(n, b + opt.grain));
+      }
+    }
+    return;
+  }
+  // Static: ~4 chunks per thread so one slow chunk can still be balanced.
+  const std::size_t grain =
+      opt.grain ? opt.grain : std::max<std::size_t>(1, (n + threads * 4 - 1) / (threads * 4));
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  pool->run_chunked(n_chunks, [&](std::size_t c) {
+    const std::size_t b = c * grain;
+    body(b, std::min(n, b + grain));
+  });
+}
+
+/// Deterministic ordered reduction: map(begin, end) produces one partial per
+/// fixed-size chunk (serially, in index order, inside the chunk); partials
+/// are combined left-to-right in chunk index order. `init` must be the
+/// identity of `combine`. Bit-identical at any thread count.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_transform_reduce(std::size_t n, std::size_t grain, T init,
+                            MapFn&& map, CombineFn&& combine) {
+  if (n == 0) return init;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(n_chunks, init);
+  const std::function<void(std::size_t)> chunk_body = [&](std::size_t c) {
+    const std::size_t b = c * grain;
+    partials[c] = map(b, std::min(n, b + grain));
+  };
+  ThreadPool::global()->run_chunked(n_chunks, chunk_body);
+  T acc = std::move(init);
+  for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Run two independent closures, possibly concurrently.
+inline void parallel_invoke(const std::function<void()>& a,
+                            const std::function<void()>& b) {
+  ThreadPool::global()->run_chunked(2, [&](std::size_t c) { c == 0 ? a() : b(); });
+}
+
+}  // namespace scap::rt

@@ -1,0 +1,229 @@
+#include "rt/thread_pool.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scap::rt {
+
+namespace {
+
+thread_local bool tl_on_worker = false;
+
+std::size_t env_concurrency() {
+  if (const char* env = std::getenv("SCAP_THREADS")) {
+    const long n = std::atol(env);
+    if (n >= 1) return std::min<std::size_t>(static_cast<std::size_t>(n), 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+std::mutex g_global_mu;
+std::shared_ptr<ThreadPool> g_global;  // guarded by g_global_mu
+
+}  // namespace
+
+// One parallel region. Lives on the submitting thread's stack: every task
+// pointer anywhere in the pool represents unexecuted chunks, so once
+// `remaining` hits zero no reference to the job can exist and the submitter
+// may safely return.
+struct ThreadPool::Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> remaining{0};
+  // Task arena: a binary split tree over n chunks has at most 2n-1 nodes.
+  // Bump-allocated so task creation is lock-free and addresses are stable.
+  std::vector<Task> arena;
+  std::atomic<std::size_t> arena_next{0};
+
+  Task* alloc(Job* self, std::uint32_t begin, std::uint32_t end) {
+    const std::size_t i = arena_next.fetch_add(1, std::memory_order_relaxed);
+    assert(i < arena.size());
+    Task& t = arena[i];
+    t.job = self;
+    t.begin = begin;
+    t.end = end;
+    return &t;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t concurrency)
+    : concurrency_(concurrency == 0 ? 1 : concurrency) {
+  obs::Registry& reg = obs::Registry::global();
+  jobs_ctr_ = &reg.counter("rt.jobs");
+  chunks_ctr_ = &reg.counter("rt.chunks");
+  tasks_ctr_ = &reg.counter("rt.tasks");
+  steals_ctr_ = &reg.counter("rt.steals");
+  steal_attempts_ctr_ = &reg.counter("rt.steal_attempts");
+  for (std::size_t i = 0; i + 1 < concurrency_; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    workers_.push_back(std::move(w));
+  }
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_main(worker); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+bool ThreadPool::on_worker_thread() noexcept { return tl_on_worker; }
+
+void ThreadPool::inject(Task* task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_.push_back(task);
+  }
+  cv_.notify_all();
+}
+
+ThreadPool::Task* ThreadPool::pop_injector() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (injector_.empty()) return nullptr;
+  Task* t = injector_.back();
+  injector_.pop_back();
+  return t;
+}
+
+ThreadPool::Task* ThreadPool::steal_any(const Worker* self) {
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  const std::size_t start = self ? self->index + 1 : 0;
+  std::size_t attempts = 0;
+  Task* t = nullptr;
+  for (std::size_t k = 0; k < n && t == nullptr; ++k) {
+    Worker* victim = workers_[(start + k) % n].get();
+    if (victim == self) continue;
+    ++attempts;
+    t = victim->deque.steal();
+  }
+  if (obs::metrics_enabled() && attempts) {
+    steal_attempts_ctr_->add(attempts);
+    if (t) steals_ctr_->add(1);
+  }
+  return t;
+}
+
+void ThreadPool::execute(Task* task, Worker* self) {
+  Job* job = task->job;
+  std::uint32_t begin = task->begin;
+  std::uint32_t end = task->end;
+  // Split in half until a single chunk remains; spare halves go to the own
+  // deque (stealable, oldest-first == coarsest-first) or, from the
+  // submitting thread, to the shared injector.
+  while (end - begin > 1) {
+    const std::uint32_t mid = begin + (end - begin) / 2;
+    Task* spare = job->alloc(job, mid, end);
+    if (self) {
+      self->deque.push(spare);
+    } else {
+      inject(spare);
+    }
+    end = mid;
+  }
+  (*job->body)(begin);
+  if (obs::metrics_enabled()) tasks_ctr_->add(1);
+  job->remaining.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ThreadPool::worker_main(Worker* self) {
+  tl_on_worker = true;
+  for (;;) {
+    Task* t = self->deque.pop();
+    if (!t) t = steal_any(self);
+    if (!t) t = pop_injector();
+    if (t) {
+      execute(t, self);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (active_jobs_.load(std::memory_order_acquire) > 0) {
+      // A job is in flight but nothing was stealable this sweep; stay hot,
+      // new tasks appear without notification while a region is active.
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             active_jobs_.load(std::memory_order_relaxed) > 0 ||
+             !injector_.empty();
+    });
+    if (stop_.load(std::memory_order_relaxed)) break;
+  }
+  tl_on_worker = false;
+}
+
+void ThreadPool::run_chunked(std::size_t n_chunks,
+                             const std::function<void(std::size_t)>& body) {
+  if (n_chunks == 0) return;
+  // Serial pool, trivial region, or nested call from inside a worker: run
+  // inline in index order. This is the same chunk decomposition the parallel
+  // path executes, so results are identical by construction.
+  if (workers_.empty() || n_chunks < 2 || on_worker_thread()) {
+    for (std::size_t c = 0; c < n_chunks; ++c) body(c);
+    return;
+  }
+  SCAP_TRACE_SCOPE("rt.job");
+  if (obs::metrics_enabled()) {
+    jobs_ctr_->add(1);
+    chunks_ctr_->add(n_chunks);
+    std::int64_t depth = 0;
+    for (const auto& w : workers_) depth += w->deque.size_estimate();
+    obs::observe("rt.queue_depth", static_cast<double>(depth));
+  }
+
+  Job job;
+  job.body = &body;
+  job.remaining.store(n_chunks, std::memory_order_relaxed);
+  job.arena.resize(2 * n_chunks);
+  Task* root = job.alloc(&job, 0, static_cast<std::uint32_t>(n_chunks));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_jobs_.fetch_add(1, std::memory_order_relaxed);
+    injector_.push_back(root);
+  }
+  cv_.notify_all();
+
+  // Participate until this job drains. Tasks of other concurrent jobs may be
+  // picked up too -- they never block, so helping them only speeds things up.
+  while (job.remaining.load(std::memory_order_acquire) != 0) {
+    Task* t = pop_injector();
+    if (!t) t = steal_any(nullptr);
+    if (t) {
+      execute(t, nullptr);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global) g_global = std::make_shared<ThreadPool>(env_concurrency());
+  return g_global;
+}
+
+void ThreadPool::set_global_concurrency(std::size_t concurrency) {
+  auto next = std::make_shared<ThreadPool>(
+      concurrency == 0 ? env_concurrency() : concurrency);
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global = std::move(next);
+}
+
+std::size_t concurrency() { return ThreadPool::global()->concurrency(); }
+
+}  // namespace scap::rt

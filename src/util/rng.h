@@ -100,7 +100,52 @@ class Rng {
   /// Derive an independent child stream (for parallel-safe sub-tasks).
   constexpr Rng fork() noexcept { return Rng((*this)() ^ 0xa5a5'5a5a'dead'beefULL); }
 
+  /// Advance the state by 2^128 steps (xoshiro256++ reference jump
+  /// polynomial). Partitions one seed's sequence into non-overlapping
+  /// sub-sequences of 2^128 values each: `k` jumps from the same seed yield
+  /// the shard-k stream, independent of how many other shards exist or which
+  /// thread consumes them.
+  constexpr void jump() noexcept {
+    constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    advance_with(kJump);
+  }
+
+  /// Advance by 2^192 steps: spacing for top-level stream families, each of
+  /// which can then take 2^64 jump() sub-streams.
+  constexpr void long_jump() noexcept {
+    constexpr std::uint64_t kLongJump[4] = {
+        0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+        0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+    advance_with(kLongJump);
+  }
+
+  /// Shard stream `shard` of `seed`: reproducible from (seed, shard) alone,
+  /// with 2^128 spacing between consecutive shards. This is what parallel
+  /// random-fill and per-shard statistical sampling use so results do not
+  /// depend on the thread count.
+  static constexpr Rng stream(std::uint64_t seed, std::uint64_t shard) noexcept {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < shard; ++i) rng.jump();
+    return rng;
+  }
+
  private:
+  constexpr void advance_with(const std::uint64_t (&poly)[4]) noexcept {
+    std::uint64_t acc[4] = {0, 0, 0, 0};
+    for (std::uint64_t word : poly) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (1ULL << bit)) {
+          for (int i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    for (int i = 0; i < 4; ++i) state_[i] = acc[i];
+  }
+
+
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "layout/floorplan.h"
+#include "obs/metrics.h"
 #include "power/power_grid.h"
 
 namespace scap {
@@ -158,6 +159,14 @@ TEST(PowerGrid, ConvergenceFlagHonest) {
                                       std::span<const double>(&amps, 1), true);
   EXPECT_FALSE(sol.converged);
   EXPECT_EQ(sol.iterations, 1u);
+  // The reported residual must reflect the unfinished sweep, and the
+  // non-converged solve must be visible in the metrics registry.
+  EXPECT_GT(sol.final_delta_v, rig.opt.tolerance_v);
+  if (obs::metrics_enabled()) {
+    EXPECT_GE(
+        obs::Registry::global().counter("power.grid_solve_nonconverged").value(),
+        1u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,210 @@
+// Property tests for the runtime's central contract: every parallelized
+// pipeline produces bit-identical results at any SCAP_THREADS. Each test runs
+// the same workload with the global pool at 1 thread and at 4 threads and
+// compares outputs with exact (==) equality -- never EXPECT_NEAR.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "atpg/fault_sim.h"
+#include "atpg/pattern.h"
+#include "core/experiment.h"
+#include "core/power_aware.h"
+#include "core/validation.h"
+#include "power/power_grid.h"
+#include "power/statistical.h"
+#include "rt/thread_pool.h"
+
+namespace scap {
+namespace {
+
+/// Same miniature fixture as core_flow_test; built once at whatever
+/// concurrency the environment selects (the point under test is that this
+/// does not matter).
+const Experiment& exp_fixture() {
+  static Experiment* exp = new Experiment(Experiment::standard(0.012, 2007));
+  return *exp;
+}
+
+/// Run `fn` with the global pool pinned to `threads`, restoring the
+/// environment-selected default afterwards.
+template <typename Fn>
+auto at_threads(std::size_t threads, Fn&& fn) {
+  rt::ThreadPool::set_global_concurrency(threads);
+  auto out = fn();
+  rt::ThreadPool::set_global_concurrency(0);
+  return out;
+}
+
+void expect_patterns_identical(const PatternSet& a, const PatternSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.domain, b.domain);
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    ASSERT_EQ(a.patterns[p].s1, b.patterns[p].s1) << "pattern " << p;
+  }
+}
+
+void expect_reports_identical(const std::vector<ScapReport>& a,
+                              const std::vector<ScapReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stw_ns, b[i].stw_ns) << "pattern " << i;
+    EXPECT_EQ(a[i].period_ns, b[i].period_ns) << "pattern " << i;
+    EXPECT_EQ(a[i].num_toggles, b[i].num_toggles) << "pattern " << i;
+    EXPECT_EQ(a[i].vdd_energy_pj, b[i].vdd_energy_pj) << "pattern " << i;
+    EXPECT_EQ(a[i].vss_energy_pj, b[i].vss_energy_pj) << "pattern " << i;
+    EXPECT_EQ(a[i].vdd_energy_total_pj, b[i].vdd_energy_total_pj)
+        << "pattern " << i;
+    EXPECT_EQ(a[i].vss_energy_total_pj, b[i].vss_energy_total_pj)
+        << "pattern " << i;
+  }
+}
+
+TEST(RtDeterminism, Fig2ConventionalPipeline) {
+  // Figure 2's pipeline: conventional random-fill ATPG, then the per-pattern
+  // SCAP profile of the whole set.
+  const Experiment& exp = exp_fixture();
+  AtpgOptions opt;
+  opt.seed = 99;
+  opt.fill = FillMode::kRandom;
+  auto run = [&] {
+    FlowResult flow =
+        run_conventional_atpg(exp.soc.netlist, exp.ctx, exp.faults, opt);
+    std::vector<ScapReport> scap =
+        scap_profile(exp.soc, *exp.lib, exp.ctx, flow.patterns);
+    return std::pair(std::move(flow), std::move(scap));
+  };
+  const auto at1 = at_threads(1, run);
+  const auto at4 = at_threads(4, run);
+
+  expect_patterns_identical(at1.first.patterns, at4.first.patterns);
+  EXPECT_EQ(at1.first.new_detects_per_pattern,
+            at4.first.new_detects_per_pattern);
+  EXPECT_EQ(at1.first.coverage_curve(), at4.first.coverage_curve());
+  expect_reports_identical(at1.second, at4.second);
+}
+
+TEST(RtDeterminism, Fig6PowerAwarePipeline) {
+  // Figure 6's pipeline: the stepwise power-aware flow plus its SCAP profile.
+  const Experiment& exp = exp_fixture();
+  AtpgOptions opt;
+  opt.seed = 99;
+  opt.fill = FillMode::kQuiet;
+  const StepPlan plan = StepPlan::paper_default(exp.soc.netlist.block_count());
+  auto run = [&] {
+    FlowResult flow = run_power_aware_atpg(exp.soc.netlist, exp.ctx,
+                                           exp.faults, plan, opt);
+    std::vector<ScapReport> scap =
+        scap_profile(exp.soc, *exp.lib, exp.ctx, flow.patterns);
+    return std::pair(std::move(flow), std::move(scap));
+  };
+  const auto at1 = at_threads(1, run);
+  const auto at4 = at_threads(4, run);
+
+  expect_patterns_identical(at1.first.patterns, at4.first.patterns);
+  EXPECT_EQ(at1.first.step_start, at4.first.step_start);
+  EXPECT_EQ(at1.first.coverage_curve(), at4.first.coverage_curve());
+  expect_reports_identical(at1.second, at4.second);
+}
+
+TEST(RtDeterminism, FaultGradeShardingInvariant) {
+  // The fault-parallel grade must report the same first-detect pattern per
+  // fault and the same per-pattern detect counts as the serial pass.
+  const Experiment& exp = exp_fixture();
+  const PatternSet pats =
+      random_pattern_set(96, exp.ctx.num_vars(), /*seed=*/2007);
+  auto run = [&] {
+    FaultSimulator fsim(exp.soc.netlist, exp.ctx);
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> first =
+        fsim.grade(pats.patterns, exp.faults, &counts);
+    return std::pair(std::move(first), std::move(counts));
+  };
+  const auto at1 = at_threads(1, run);
+  const auto at4 = at_threads(4, run);
+  EXPECT_EQ(at1.first, at4.first);
+  EXPECT_EQ(at1.second, at4.second);
+}
+
+TEST(RtDeterminism, GridSolveRedBlackInvariant) {
+  // A grid large enough to take the parallel red-black path (>= 8192 nodes).
+  const Experiment& exp = exp_fixture();
+  PowerGridOptions gopt;
+  gopt.nx = 96;
+  gopt.ny = 96;
+  const PowerGrid grid(exp.soc.floorplan, gopt);
+  std::vector<Point> where;
+  std::vector<double> amps;
+  const Netlist& nl = exp.soc.netlist;
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    where.push_back(exp.soc.placement.gate_pos(g));
+    amps.push_back(2e-6 * static_cast<double>(1 + g % 5));
+  }
+  auto run = [&] { return grid.solve(where, amps, /*vdd_rail=*/true); };
+  const GridSolution at1 = at_threads(1, run);
+  const GridSolution at4 = at_threads(4, run);
+
+  EXPECT_EQ(at1.iterations, at4.iterations);
+  EXPECT_EQ(at1.converged, at4.converged);
+  EXPECT_EQ(at1.final_delta_v, at4.final_delta_v);
+  EXPECT_EQ(at1.drop_v, at4.drop_v);  // element-wise bit identity
+  EXPECT_TRUE(at1.converged);
+}
+
+TEST(RtDeterminism, StatisticalAnalysisInvariant) {
+  const Experiment& exp = exp_fixture();
+  const Netlist& nl = exp.soc.netlist;
+  std::vector<double> freq(nl.domain_count(), 100.0);
+  StatisticalOptions opt;
+  auto run = [&] {
+    return analyze_statistical(nl, exp.soc.placement, exp.soc.parasitics,
+                               *exp.lib, exp.soc.floorplan, exp.grid, freq,
+                               &exp.soc.clock_tree, opt);
+  };
+  const StatisticalReport at1 = at_threads(1, run);
+  const StatisticalReport at4 = at_threads(4, run);
+
+  EXPECT_EQ(at1.chip_power_mw, at4.chip_power_mw);
+  EXPECT_EQ(at1.block_power_mw, at4.block_power_mw);
+  EXPECT_EQ(at1.vdd_solution.drop_v, at4.vdd_solution.drop_v);
+  EXPECT_EQ(at1.vss_solution.drop_v, at4.vss_solution.drop_v);
+  EXPECT_EQ(at1.block_worst_vdd_v, at4.block_worst_vdd_v);
+  EXPECT_EQ(at1.block_worst_vss_v, at4.block_worst_vss_v);
+  EXPECT_EQ(at1.chip_worst_vdd_v, at4.chip_worst_vdd_v);
+}
+
+TEST(RtDeterminism, RepairFlowInvariant) {
+  // The repair loop interleaves parallel grading, parallel SCAP screening,
+  // and serial ATPG rounds; the kept pattern set must not depend on the
+  // thread count.
+  const Experiment& exp = exp_fixture();
+  AtpgOptions conv;
+  conv.seed = 99;
+  conv.fill = FillMode::kRandom;
+  const FlowResult flow = at_threads(
+      1, [&] {
+        return run_conventional_atpg(exp.soc.netlist, exp.ctx, exp.faults,
+                                     conv);
+      });
+  AtpgOptions opt;
+  opt.seed = 123;
+  auto run = [&] {
+    return repair_scap_violations(exp.soc, *exp.lib, exp.ctx, exp.faults,
+                                  flow.patterns, exp.thresholds,
+                                  Experiment::kHotBlock, opt,
+                                  /*max_rounds=*/2);
+  };
+  const RepairResult at1 = at_threads(1, run);
+  const RepairResult at4 = at_threads(4, run);
+
+  expect_patterns_identical(at1.patterns, at4.patterns);
+  EXPECT_EQ(at1.violations_before, at4.violations_before);
+  EXPECT_EQ(at1.violations_after, at4.violations_after);
+  EXPECT_EQ(at1.detected_before, at4.detected_before);
+  EXPECT_EQ(at1.detected_after, at4.detected_after);
+  EXPECT_EQ(at1.rounds, at4.rounds);
+}
+
+}  // namespace
+}  // namespace scap

@@ -1,0 +1,225 @@
+// Unit tests for the parallel execution runtime: Chase-Lev deque invariants,
+// pool scheduling, and the deterministic parallel primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "atpg/pattern.h"
+#include "rt/deque.h"
+#include "rt/parallel.h"
+#include "rt/thread_pool.h"
+
+namespace scap {
+namespace {
+
+TEST(Deque, OwnerLifoStealFifo) {
+  int items[4] = {0, 1, 2, 3};
+  rt::WorkStealingDeque<int*> dq;
+  for (int& i : items) dq.push(&i);
+  // Owner pops newest first.
+  EXPECT_EQ(dq.pop(), &items[3]);
+  // Stealers take oldest first.
+  EXPECT_EQ(dq.steal(), &items[0]);
+  EXPECT_EQ(dq.steal(), &items[1]);
+  EXPECT_EQ(dq.pop(), &items[2]);
+  EXPECT_EQ(dq.pop(), nullptr);
+  EXPECT_EQ(dq.steal(), nullptr);
+}
+
+TEST(Deque, GrowsPastInitialCapacity) {
+  rt::WorkStealingDeque<int*> dq(/*capacity=*/4);
+  std::vector<int> items(1000);
+  for (int& i : items) dq.push(&i);
+  std::size_t popped = 0;
+  while (dq.pop() != nullptr) ++popped;
+  EXPECT_EQ(popped, items.size());
+}
+
+TEST(Deque, ConcurrentStealersConsumeEachItemOnce) {
+  // The owner pushes and pops while 3 stealers race; every item must be
+  // consumed exactly once in total.
+  constexpr int kItems = 20000;
+  std::vector<int> items(kItems);
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  rt::WorkStealingDeque<int*> dq;
+
+  std::atomic<bool> done{false};
+  auto consume = [&](int* p) {
+    seen[static_cast<std::size_t>(p - items.data())].fetch_add(1);
+  };
+  std::vector<std::thread> stealers;
+  for (int s = 0; s < 3; ++s) {
+    stealers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* p = dq.steal()) consume(p);
+      }
+      while (int* p = dq.steal()) consume(p);
+    });
+  }
+  for (int i = 0; i < kItems; ++i) {
+    dq.push(&items[static_cast<std::size_t>(i)]);
+    if ((i & 7) == 0) {
+      if (int* p = dq.pop()) consume(p);
+    }
+  }
+  while (int* p = dq.pop()) consume(p);
+  done.store(true, std::memory_order_release);
+  for (auto& t : stealers) t.join();
+  while (int* p = dq.steal()) consume(p);
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  rt::ThreadPool pool(4);
+  constexpr std::size_t kChunks = 5000;
+  std::vector<std::atomic<int>> hits(kChunks);
+  for (auto& h : hits) h.store(0);
+  pool.run_chunked(kChunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < kChunks; ++c) {
+    ASSERT_EQ(hits[c].load(), 1) << "chunk " << c;
+  }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  rt::ThreadPool pool(1);
+  const auto main_id = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.run_chunked(8, [&](std::size_t c) {
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+    order.push_back(c);
+  });
+  std::vector<std::size_t> expect(8);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, NestedRegionsSerializeWithoutDeadlock) {
+  rt::ThreadPool::set_global_concurrency(4);
+  std::atomic<int> total{0};
+  rt::parallel_for(
+      8,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          // Nested region: must run inline on whichever thread got here.
+          rt::parallel_for(
+              4, [&](std::size_t ib, std::size_t ie) {
+                total.fetch_add(static_cast<int>(ie - ib));
+              },
+              rt::ForOptions{.grain = 1, .min_items = 1});
+        }
+      },
+      rt::ForOptions{.grain = 1, .min_items = 1});
+  EXPECT_EQ(total.load(), 8 * 4);
+  rt::ThreadPool::set_global_concurrency(0);
+}
+
+TEST(ThreadPool, BackToBackJobsReuseSleepingWorkers) {
+  rt::ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> n{0};
+    pool.run_chunked(16, [&](std::size_t) { n.fetch_add(1); });
+    ASSERT_EQ(n.load(), 16);
+  }
+}
+
+TEST(ParallelFor, CoversRangeWithArbitraryGrain) {
+  rt::ThreadPool::set_global_concurrency(4);
+  for (std::size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+    for (std::size_t grain : {0u, 1u, 3u, 16u}) {
+      std::vector<std::atomic<int>> hit(n);
+      for (auto& h : hit) h.store(0);
+      rt::parallel_for(
+          n,
+          [&](std::size_t b, std::size_t e) {
+            for (std::size_t i = b; i < e; ++i) hit[i].fetch_add(1);
+          },
+          rt::ForOptions{.grain = grain, .min_items = 1});
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hit[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+  rt::ThreadPool::set_global_concurrency(0);
+}
+
+TEST(ParallelReduce, MatchesSerialSum) {
+  rt::ThreadPool::set_global_concurrency(4);
+  const std::size_t n = 100000;
+  const auto sum = rt::parallel_transform_reduce(
+      n, /*grain=*/64, std::uint64_t{0},
+      [](std::size_t b, std::size_t e) {
+        std::uint64_t s = 0;
+        for (std::size_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  rt::ThreadPool::set_global_concurrency(0);
+}
+
+TEST(ParallelReduce, FloatReductionBitIdenticalAcrossThreadCounts) {
+  // Awkward magnitudes make float addition order-sensitive; the ordered
+  // chunk combine must erase any thread-count dependence.
+  const std::size_t n = 4096;
+  auto run = [&] {
+    return rt::parallel_transform_reduce(
+        n, /*grain=*/32, 0.0,
+        [](std::size_t b, std::size_t e) {
+          double s = 0.0;
+          for (std::size_t i = b; i < e; ++i) {
+            s += (i % 3 ? 1.0e-9 : 1.0e9) * static_cast<double>(i + 1);
+          }
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  rt::ThreadPool::set_global_concurrency(1);
+  const double at1 = run();
+  rt::ThreadPool::set_global_concurrency(4);
+  const double at4 = run();
+  rt::ThreadPool::set_global_concurrency(3);
+  const double at3 = run();
+  rt::ThreadPool::set_global_concurrency(0);
+  EXPECT_EQ(at1, at4);  // exact, not NEAR: the contract is bit-identity
+  EXPECT_EQ(at1, at3);
+}
+
+TEST(ParallelInvoke, RunsBoth) {
+  rt::ThreadPool::set_global_concurrency(2);
+  std::atomic<int> a{0}, b{0};
+  rt::parallel_invoke([&] { a.store(1); }, [&] { b.store(2); });
+  EXPECT_EQ(a.load(), 1);
+  EXPECT_EQ(b.load(), 2);
+  rt::ThreadPool::set_global_concurrency(0);
+}
+
+TEST(RandomPatternSet, ThreadCountInvariantAndSeedSensitive) {
+  const std::size_t n = 100, vars = 57;
+  rt::ThreadPool::set_global_concurrency(1);
+  const PatternSet at1 = random_pattern_set(n, vars, 2007);
+  rt::ThreadPool::set_global_concurrency(4);
+  const PatternSet at4 = random_pattern_set(n, vars, 2007);
+  const PatternSet other = random_pattern_set(n, vars, 2008);
+  rt::ThreadPool::set_global_concurrency(0);
+
+  ASSERT_EQ(at1.size(), n);
+  ASSERT_EQ(at4.size(), n);
+  bool any_diff_seed = false;
+  for (std::size_t p = 0; p < n; ++p) {
+    ASSERT_EQ(at1.patterns[p].s1.size(), vars);
+    EXPECT_EQ(at1.patterns[p].s1, at4.patterns[p].s1) << "pattern " << p;
+    any_diff_seed |= (at1.patterns[p].s1 != other.patterns[p].s1);
+  }
+  EXPECT_TRUE(any_diff_seed);
+}
+
+}  // namespace
+}  // namespace scap
