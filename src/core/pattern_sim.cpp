@@ -11,52 +11,84 @@ PatternAnalyzer::PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib)
       lib_(&lib),
       logic_(soc.netlist),
       nominal_dm_(soc.netlist, lib, soc.parasitics),
-      scap_(soc.netlist, soc.parasitics, lib) {}
+      scap_(soc.netlist, soc.parasitics, lib),
+      scap_acc_(scap_, soc.config.tester_period_ns) {}
 
-PatternAnalysis PatternAnalyzer::analyze(
+std::size_t PatternAnalyzer::build_launch(
     const TestContext& ctx, const Pattern& pattern,
-    const DelayModel* delay_model,
     std::span<const double> clock_arrivals) const {
-  SCAP_TRACE_SCOPE("sim.pattern_analyze");
   const Netlist& nl = soc_->netlist;
-  PatternAnalysis out;
 
   // Frame 1: settled state after the (slow) scan load. The flop bits are
   // the leading num_flops() entries of the test-variable vector.
   std::span<const std::uint8_t> flop_bits(pattern.s1.data(), nl.num_flops());
-  logic_.eval_frame(flop_bits, ctx.pi_values, out.frame1_nets);
+  logic_.eval_frame(flop_bits, ctx.pi_values, frame1_);
 
   // Launch stimuli at each flop's clock arrival. LOC: active flops capture
   // their functional D. LOS: the launch shift moves every chain by one.
-  std::vector<Stimulus> stimuli;
+  stimuli_.clear();
+  std::size_t launched = 0;
   for (FlopId f = 0; f < nl.num_flops(); ++f) {
     std::uint8_t s2;
     if (ctx.los()) {
       s2 = pattern.s1[ctx.los_pred[f]];
     } else {
       if (!ctx.active[f]) continue;
-      s2 = out.frame1_nets[nl.flop(f).d];
+      s2 = frame1_[nl.flop(f).d];
     }
     if (s2 == pattern.s1[f]) continue;
     const double arrival = clock_arrivals.empty()
                                ? soc_->clock_tree.nominal_arrival_ns(f)
                                : clock_arrivals[f];
-    stimuli.push_back(Stimulus{nl.flop(f).q, arrival, s2});
-    ++out.launched_flops;
+    stimuli_.push_back(Stimulus{nl.flop(f).q, arrival, s2});
+    ++launched;
   }
+  return launched;
+}
 
+std::size_t PatternAnalyzer::analyze_into(
+    const TestContext& ctx, const Pattern& pattern, ToggleSink& sink,
+    const DelayModel* delay_model,
+    std::span<const double> clock_arrivals) const {
+  SCAP_TRACE_SCOPE("sim.pattern_analyze");
+  const std::size_t launched = build_launch(ctx, pattern, clock_arrivals);
   const DelayModel& dm = delay_model ? *delay_model : nominal_dm_;
-  EventSim sim(nl, dm);
-  out.trace = sim.run(out.frame1_nets, stimuli);
-  out.scap = scap_.compute(out.trace, soc_->config.tester_period_ns);
+  EventSim sim(soc_->netlist, dm);
+  sim.run(frame1_, stimuli_, ws_, sink);
+  return launched;
+}
+
+const ScapReport& PatternAnalyzer::analyze_scap(const TestContext& ctx,
+                                                const Pattern& pattern) const {
+  analyze_into(ctx, pattern, scap_acc_);
+  return scap_acc_.report();
+}
+
+PatternAnalysis PatternAnalyzer::analyze(
+    const TestContext& ctx, const Pattern& pattern,
+    const DelayModel* delay_model,
+    std::span<const double> clock_arrivals) const {
+  FanoutSink fan{&recorder_, &scap_acc_};
+  PatternAnalysis out;
+  out.launched_flops =
+      analyze_into(ctx, pattern, fan, delay_model, clock_arrivals);
+  out.trace = recorder_.take();
+  out.scap = scap_acc_.report();
+  out.frame1_nets.assign(frame1_.begin(), frame1_.end());
   return out;
 }
 
 std::vector<double> PatternAnalyzer::endpoint_delays(
     const SimTrace& trace, std::span<const double> clock_arrivals) const {
+  const std::vector<double> settle =
+      EventSim::settle_times(trace, soc_->netlist.num_nets());
+  return endpoint_delays_from_settle(settle, clock_arrivals);
+}
+
+std::vector<double> PatternAnalyzer::endpoint_delays_from_settle(
+    std::span<const double> settle,
+    std::span<const double> clock_arrivals) const {
   const Netlist& nl = soc_->netlist;
-  std::vector<double> settle =
-      EventSim::settle_times(trace, nl.num_nets());
   std::vector<double> delays(nl.num_flops(), 0.0);
   for (FlopId f = 0; f < nl.num_flops(); ++f) {
     const double t = settle[nl.flop(f).d];

@@ -2,9 +2,17 @@
 //
 // Chains the engines exactly the way the paper's Figure 5 flow does:
 // scan state -> zero-delay frame-1 settle -> launch stimuli at per-flop clock
-// arrivals -> event-driven timing simulation -> toggle trace -> SCAP report.
-// Optionally the delay model and the clock arrivals are derated by a voltage
-// map (the Section 3.2 "simulation with IR-drop effects").
+// arrivals -> event-driven timing simulation -> streaming toggle sinks ->
+// SCAP / IR / settle reports. Optionally the delay model and the clock
+// arrivals are derated by a voltage map (the Section 3.2 "simulation with
+// IR-drop effects").
+//
+// One PatternAnalyzer owns a warm EventSim::Workspace plus reusable frame-1 /
+// stimulus / SCAP-report buffers, so screening a pattern stream through
+// analyze_scap()/analyze_into() is allocation-free in steady state. A single
+// instance must therefore not be used from two threads concurrently; shard
+// the pattern set over thread-private analyzers instead (see
+// scap_profile_patterns).
 #pragma once
 
 #include <span>
@@ -31,12 +39,28 @@ class PatternAnalyzer {
  public:
   PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib);
 
-  /// Analyze one pattern. `delay_model` overrides the nominal model (pass a
+  /// Analyze one pattern, materializing the trace and SCAP report (the
+  /// back-compat bundle). `delay_model` overrides the nominal model (pass a
   /// droop-derated one for IR-aware simulation); `clock_arrivals` overrides
   /// the nominal per-flop launch-clock arrivals.
   PatternAnalysis analyze(const TestContext& ctx, const Pattern& pattern,
                           const DelayModel* delay_model = nullptr,
                           std::span<const double> clock_arrivals = {}) const;
+
+  /// Streaming core: settle frame 1, build the launch stimuli and run the
+  /// timing simulation, pushing every toggle into `sink`. The settled
+  /// pre-launch state stays readable via frame1() until the next analysis.
+  /// Returns the number of launched flops.
+  std::size_t analyze_into(const TestContext& ctx, const Pattern& pattern,
+                           ToggleSink& sink,
+                           const DelayModel* delay_model = nullptr,
+                           std::span<const double> clock_arrivals = {}) const;
+
+  /// SCAP-only screening path (Figures 2 & 6 profiling): one simulation pass
+  /// into the internal accumulator, zero steady-state allocations. The
+  /// returned reference is valid until the next analyze_scap() call.
+  const ScapReport& analyze_scap(const TestContext& ctx,
+                                 const Pattern& pattern) const;
 
   /// Endpoint path delay per flop: last D-pin transition relative to the
   /// flop's own clock arrival (the paper's Figure 7 measurement). Inactive
@@ -44,15 +68,35 @@ class PatternAnalyzer {
   std::vector<double> endpoint_delays(const SimTrace& trace,
                                       std::span<const double> clock_arrivals) const;
 
+  /// Same, over per-net settle times already captured by a SettleTimeTracker.
+  std::vector<double> endpoint_delays_from_settle(
+      std::span<const double> settle,
+      std::span<const double> clock_arrivals) const;
+
+  /// Settled frame-1 net values of the most recent analysis.
+  std::span<const std::uint8_t> frame1() const { return frame1_; }
+
   const DelayModel& nominal_delays() const { return nominal_dm_; }
   const ScapCalculator& scap_calculator() const { return scap_; }
+  const EventSim::Workspace& workspace() const { return ws_; }
 
  private:
+  /// Fill frame1_ / stimuli_ for this pattern; returns launched flop count.
+  std::size_t build_launch(const TestContext& ctx, const Pattern& pattern,
+                           std::span<const double> clock_arrivals) const;
+
   const SocDesign* soc_;
   const TechLibrary* lib_;
   LogicSim logic_;
   DelayModel nominal_dm_;
   ScapCalculator scap_;
+
+  // Reusable per-pattern scratch (capacity persists across analyses).
+  mutable EventSim::Workspace ws_;
+  mutable std::vector<std::uint8_t> frame1_;
+  mutable std::vector<Stimulus> stimuli_;
+  mutable ScapAccumulator scap_acc_;
+  mutable TraceRecorder recorder_;
 };
 
 }  // namespace scap

@@ -19,13 +19,14 @@ std::vector<ScapReport> scap_profile_patterns(
       rt::ThreadPool::on_worker_thread()) {
     PatternAnalyzer analyzer(soc, lib);
     for (std::size_t i = 0; i < patterns.size(); ++i) {
-      out[i] = analyzer.analyze(ctx, patterns[i]).scap;
+      out[i] = analyzer.analyze_scap(ctx, patterns[i]);
     }
     return out;
   }
   // One contiguous pattern shard per task; each shard builds its own
   // PatternAnalyzer (the delay model / SCAP tables are a one-time cost
-  // amortized over the shard) and writes only its own slots of `out`.
+  // amortized over the shard, and its warm workspace makes every pattern
+  // after the first allocation-free) and writes only its own slots of `out`.
   const std::size_t n_shards = std::min(patterns.size(), threads * 2);
   const std::size_t per = (patterns.size() + n_shards - 1) / n_shards;
   rt::ThreadPool::global()->run_chunked(n_shards, [&](std::size_t s) {
@@ -34,7 +35,7 @@ std::vector<ScapReport> scap_profile_patterns(
     if (b >= e) return;
     PatternAnalyzer analyzer(soc, lib);
     for (std::size_t i = b; i < e; ++i) {
-      out[i] = analyzer.analyze(ctx, patterns[i]).scap;
+      out[i] = analyzer.analyze_scap(ctx, patterns[i]);
     }
   });
   return out;
@@ -56,29 +57,48 @@ IrValidationResult validate_pattern_ir(const SocDesign& soc,
   IrValidationResult out;
   PatternAnalyzer analyzer(soc, lib);
 
-  // Simulation 1: nominal timing; its trace feeds the rail analysis (the
-  // paper's VCD -> SOC Encounter step).
-  out.nominal = analyzer.analyze(ctx, pattern);
-  out.ir = analyze_pattern_ir(soc.netlist, soc.placement, soc.parasitics, lib,
-                              soc.floorplan, grid, out.nominal.trace,
-                              &soc.clock_tree, ctx.domain);
+  // Simulation 1: nominal timing. One streaming pass feeds the trace, the
+  // SCAP accounting, the rail-charge bins and the settle times all at once
+  // (the paper's Figure-5 PLI tap instead of its VCD -> SOC Encounter step).
+  TraceRecorder recorder;
+  ScapAccumulator scap_acc(analyzer.scap_calculator(),
+                           soc.config.tester_period_ns);
+  DynamicIrBinner binner(soc.netlist, soc.parasitics, lib);
+  SettleTimeTracker settle;
+  FanoutSink nominal_sinks{&recorder, &scap_acc, &binner, &settle};
+  out.nominal.launched_flops =
+      analyzer.analyze_into(ctx, pattern, nominal_sinks);
+  out.nominal.trace = recorder.take();
+  out.nominal.scap = scap_acc.report();
+  out.nominal.frame1_nets.assign(analyzer.frame1().begin(),
+                                 analyzer.frame1().end());
+  out.ir = analyze_pattern_ir(soc.netlist, soc.placement, lib, soc.floorplan,
+                              grid, binner, &soc.clock_tree, ctx.domain);
 
-  // Simulation 2: cell and clock-buffer delays derated by the local droop.
-  DelayModel scaled_dm = analyzer.nominal_delays();
-  scaled_dm.set_droop(lib, out.ir.gate_droop_v);
   out.nominal_arrival_ns.resize(soc.netlist.num_flops());
   for (FlopId f = 0; f < soc.netlist.num_flops(); ++f) {
     out.nominal_arrival_ns[f] = soc.clock_tree.nominal_arrival_ns(f);
   }
+  out.nominal_endpoint_ns = analyzer.endpoint_delays_from_settle(
+      settle.settle(), out.nominal_arrival_ns);
+
+  // Simulation 2: cell and clock-buffer delays derated by the local droop.
+  // The sinks reset themselves in on_begin, so the same instances serve the
+  // scaled pass (no IR binning needed the second time).
+  DelayModel scaled_dm = analyzer.nominal_delays();
+  scaled_dm.set_droop(lib, out.ir.gate_droop_v);
   out.scaled_arrival_ns = soc.clock_tree.arrivals_with_droop(
       lib, [&](Point p) { return out.ir.droop_at(p); });
 
-  out.scaled = analyzer.analyze(ctx, pattern, &scaled_dm, out.scaled_arrival_ns);
-
-  out.nominal_endpoint_ns =
-      analyzer.endpoint_delays(out.nominal.trace, out.nominal_arrival_ns);
-  out.scaled_endpoint_ns =
-      analyzer.endpoint_delays(out.scaled.trace, out.scaled_arrival_ns);
+  FanoutSink scaled_sinks{&recorder, &scap_acc, &settle};
+  out.scaled.launched_flops = analyzer.analyze_into(
+      ctx, pattern, scaled_sinks, &scaled_dm, out.scaled_arrival_ns);
+  out.scaled.trace = recorder.take();
+  out.scaled.scap = scap_acc.report();
+  out.scaled.frame1_nets.assign(analyzer.frame1().begin(),
+                                analyzer.frame1().end());
+  out.scaled_endpoint_ns = analyzer.endpoint_delays_from_settle(
+      settle.settle(), out.scaled_arrival_ns);
   return out;
 }
 

@@ -9,6 +9,7 @@
 //   - 3-valued "possible set" logic (PODEM implication)
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -79,6 +80,20 @@ constexpr int num_inputs(CellType t) {
 constexpr bool is_combinational(CellType t) {
   return t != CellType::kDff && t != CellType::kClkBuf;
 }
+
+/// Largest input count across the cell kit, derived from num_inputs() so a
+/// future wider cell automatically widens every fixed evaluation buffer
+/// (e.g. the event simulator's input scratch) instead of overflowing it.
+constexpr std::size_t max_cell_inputs() {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < kNumCellTypes; ++i) {
+    const auto n =
+        static_cast<std::size_t>(num_inputs(static_cast<CellType>(i)));
+    if (n > m) m = n;
+  }
+  return m;
+}
+inline constexpr std::size_t kMaxGateInputs = max_cell_inputs();
 
 /// AND-like / OR-like classification used by PODEM backtrace.
 enum class GateClass : std::uint8_t { kAndLike, kOrLike, kXorLike, kMux, kBufLike, kTie };

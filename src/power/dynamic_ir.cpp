@@ -7,33 +7,20 @@
 
 namespace scap {
 
-DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
-                                   const Parasitics& par,
-                                   const TechLibrary& lib, const Floorplan& fp,
-                                   const PowerGrid& grid, const SimTrace& trace,
-                                   const ClockTree* clock_tree,
-                                   DomainId active_domain,
-                                   const DynamicIrOptions& opt) {
-  SCAP_TRACE_SCOPE("power.dynamic_ir");
+namespace {
+
+/// Back half shared by the trace-based and streaming paths: convert binned
+/// per-instance charges into average rail currents over the window, solve
+/// both rails on the grid and derive the block / per-instance droop views.
+DynamicIrReport solve_from_charges(
+    const Netlist& nl, const Placement& pl, const TechLibrary& lib,
+    const Floorplan& fp, const PowerGrid& grid,
+    std::span<const double> gate_q_vdd, std::span<const double> gate_q_vss,
+    std::span<const double> flop_q_vdd, std::span<const double> flop_q_vss,
+    double window_ns, const ClockTree* clock_tree, DomainId active_domain,
+    const DynamicIrOptions& opt) {
   DynamicIrReport rep;
-  rep.window_ns = std::max(trace.stw_ns(), 1e-3);
-
-  // Accumulate switched charge [pC] per driving instance and rail.
-  std::vector<double> gate_q_vdd(nl.num_gates(), 0.0);
-  std::vector<double> gate_q_vss(nl.num_gates(), 0.0);
-  std::vector<double> flop_q_vdd(nl.num_flops(), 0.0);
-  std::vector<double> flop_q_vss(nl.num_flops(), 0.0);
-  const double vdd = lib.vdd();
-
-  for (const ToggleEvent& t : trace.toggles) {
-    const double q_pc = par.net_load_pf(t.net) * vdd;
-    const Net& nr = nl.net(t.net);
-    if (nr.driver_kind == DriverKind::kGate) {
-      (t.rising ? gate_q_vdd : gate_q_vss)[nr.driver] += q_pc;
-    } else if (nr.driver_kind == DriverKind::kFlop) {
-      (t.rising ? flop_q_vdd : flop_q_vss)[nr.driver] += q_pc;
-    }
-  }
+  rep.window_ns = window_ns;
 
   // Convert to average currents over the window: pC / ns == mA -> A.
   std::vector<Point> where;
@@ -57,7 +44,7 @@ DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
     for (const ClockBuffer& b : clock_tree->buffers()) {
       if (b.domain != active_domain) continue;
       // One rise and one fall per launch-capture window.
-      const double q_pc = b.load_pf * vdd;
+      const double q_pc = b.load_pf * lib.vdd();
       where.push_back(b.pos);
       vdd_amps.push_back(q_pc * to_amps);
       vss_amps.push_back(q_pc * to_amps);
@@ -91,6 +78,77 @@ DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
   obs::count("power.grid_solves", 2);  // one per rail
   obs::observe("power.worst_vdd_v", rep.worst_vdd_v);
   return rep;
+}
+
+}  // namespace
+
+DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
+                                   const Parasitics& par,
+                                   const TechLibrary& lib, const Floorplan& fp,
+                                   const PowerGrid& grid, const SimTrace& trace,
+                                   const ClockTree* clock_tree,
+                                   DomainId active_domain,
+                                   const DynamicIrOptions& opt) {
+  SCAP_TRACE_SCOPE("power.dynamic_ir");
+
+  // Accumulate switched charge [pC] per driving instance and rail.
+  std::vector<double> gate_q_vdd(nl.num_gates(), 0.0);
+  std::vector<double> gate_q_vss(nl.num_gates(), 0.0);
+  std::vector<double> flop_q_vdd(nl.num_flops(), 0.0);
+  std::vector<double> flop_q_vss(nl.num_flops(), 0.0);
+  const double vdd = lib.vdd();
+
+  for (const ToggleEvent& t : trace.toggles) {
+    const double q_pc = par.net_load_pf(t.net) * vdd;
+    const Net& nr = nl.net(t.net);
+    if (nr.driver_kind == DriverKind::kGate) {
+      (t.rising ? gate_q_vdd : gate_q_vss)[nr.driver] += q_pc;
+    } else if (nr.driver_kind == DriverKind::kFlop) {
+      (t.rising ? flop_q_vdd : flop_q_vss)[nr.driver] += q_pc;
+    }
+  }
+
+  return solve_from_charges(nl, pl, lib, fp, grid, gate_q_vdd, gate_q_vss,
+                            flop_q_vdd, flop_q_vss,
+                            std::max(trace.stw_ns(), 1e-3), clock_tree,
+                            active_domain, opt);
+}
+
+void DynamicIrBinner::on_begin(
+    std::span<const std::uint8_t> /*initial_net_values*/) {
+  window_ns_ = 0.0;
+  gate_q_vdd_.assign(nl_->num_gates(), 0.0);
+  gate_q_vss_.assign(nl_->num_gates(), 0.0);
+  flop_q_vdd_.assign(nl_->num_flops(), 0.0);
+  flop_q_vss_.assign(nl_->num_flops(), 0.0);
+}
+
+void DynamicIrBinner::on_toggle(NetId net, double /*t_ns*/, bool rising) {
+  const double q_pc = par_->net_load_pf(net) * vdd_;
+  const Net& nr = nl_->net(net);
+  if (nr.driver_kind == DriverKind::kGate) {
+    (rising ? gate_q_vdd_ : gate_q_vss_)[nr.driver] += q_pc;
+  } else if (nr.driver_kind == DriverKind::kFlop) {
+    (rising ? flop_q_vdd_ : flop_q_vss_)[nr.driver] += q_pc;
+  }
+}
+
+void DynamicIrBinner::on_end(const SimStats& stats) {
+  window_ns_ = std::max(stats.stw_ns(), 1e-3);
+}
+
+DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
+                                   const TechLibrary& lib, const Floorplan& fp,
+                                   const PowerGrid& grid,
+                                   const DynamicIrBinner& binned,
+                                   const ClockTree* clock_tree,
+                                   DomainId active_domain,
+                                   const DynamicIrOptions& opt) {
+  SCAP_TRACE_SCOPE("power.dynamic_ir");
+  return solve_from_charges(nl, pl, lib, fp, grid, binned.gate_q_vdd_pc(),
+                            binned.gate_q_vss_pc(), binned.flop_q_vdd_pc(),
+                            binned.flop_q_vss_pc(), binned.window_ns(),
+                            clock_tree, active_domain, opt);
 }
 
 }  // namespace scap

@@ -57,4 +57,47 @@ DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
                                    DomainId active_domain,
                                    const DynamicIrOptions& opt = {});
 
+/// Streaming front half of analyze_pattern_ir: bins the switched charge [pC]
+/// of every committed toggle onto its driving instance and rail directly off
+/// the simulator, so the grid solve needs no toggle trace. Charge totals and
+/// the analysis window are bit-identical to the trace-based path (same
+/// commit-order accumulation, same stw). Reuses its vectors across passes.
+class DynamicIrBinner final : public ToggleSink {
+ public:
+  DynamicIrBinner(const Netlist& nl, const Parasitics& par,
+                  const TechLibrary& lib)
+      : nl_(&nl), par_(&par), vdd_(lib.vdd()) {}
+
+  void on_begin(std::span<const std::uint8_t> initial_net_values) override;
+  void on_toggle(NetId net, double t_ns, bool rising) override;
+  void on_end(const SimStats& stats) override;
+
+  double window_ns() const { return window_ns_; }
+  std::span<const double> gate_q_vdd_pc() const { return gate_q_vdd_; }
+  std::span<const double> gate_q_vss_pc() const { return gate_q_vss_; }
+  std::span<const double> flop_q_vdd_pc() const { return flop_q_vdd_; }
+  std::span<const double> flop_q_vss_pc() const { return flop_q_vss_; }
+
+ private:
+  const Netlist* nl_;
+  const Parasitics* par_;
+  double vdd_;
+  double window_ns_ = 0.0;
+  std::vector<double> gate_q_vdd_;
+  std::vector<double> gate_q_vss_;
+  std::vector<double> flop_q_vdd_;
+  std::vector<double> flop_q_vss_;
+};
+
+/// Grid-solve half of the analysis over charges binned by a DynamicIrBinner.
+/// analyze_pattern_ir(trace) == analyze_pattern_ir(binner) when the binner
+/// observed the simulation that produced the trace.
+DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,
+                                   const TechLibrary& lib, const Floorplan& fp,
+                                   const PowerGrid& grid,
+                                   const DynamicIrBinner& binned,
+                                   const ClockTree* clock_tree,
+                                   DomainId active_domain,
+                                   const DynamicIrOptions& opt = {});
+
 }  // namespace scap

@@ -5,9 +5,16 @@
 // stimulus transitions (flop Q flips at their clock-arrival times); the
 // simulator propagates them with per-instance rise/fall delays (transport
 // semantics, so glitches are simulated and contribute switching power, as
-// they do in a VCD captured from a real timing simulation) and records every
-// output toggle with its timestamp. The toggle trace feeds the SCAP
-// calculator and the dynamic IR-drop analysis.
+// they do in a VCD captured from a real timing simulation).
+//
+// Two output modes share one engine:
+//  - run(initial, stimuli) returns the full SimTrace (back-compat; allocates
+//    a fresh trace per call).
+//  - run(initial, stimuli, Workspace&, ToggleSink&) streams every committed
+//    toggle into the sink as it happens -- the paper's PLI tap -- and keeps
+//    all simulation storage (value array, pending-event pools, queue heap)
+//    in the caller-owned Workspace, so bulk per-pattern screening runs with
+//    zero steady-state heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include "layout/parasitics.h"
 #include "netlist/netlist.h"
 #include "netlist/tech_library.h"
+#include "sim/toggle_sink.h"
 
 namespace scap {
 
@@ -27,6 +35,8 @@ class DelayModel {
 
   /// Apply per-gate voltage droop (VDD loss + VSS bounce [V]); delays become
   /// base * (1 + k_volt * droop). Pass an empty span to reset to nominal.
+  /// Throws std::invalid_argument if the droop vector does not match the
+  /// netlist's gate count.
   void set_droop(const TechLibrary& lib, std::span<const double> gate_droop_v);
 
   double rise_ns(GateId g) const { return rise_ns_[g]; }
@@ -56,6 +66,7 @@ struct SimTrace {
   double first_toggle_ns = 0.0;
   double last_toggle_ns = 0.0;
   std::size_t num_events_processed = 0;
+  std::size_t num_events_cancelled = 0;  ///< superseded by a later evaluation
 
   /// Switching time window: the span during which all transitions occur
   /// (insertion delay of the clock tree does not inflate it).
@@ -66,13 +77,79 @@ struct SimTrace {
 
 class EventSim {
  public:
+  /// Reusable simulation storage: the current-value array, the per-net
+  /// pending-event pools and the scheduling heap. All of it persists between
+  /// runs (only capacity, never state -- every run drains its queues), so a
+  /// warm workspace serves each subsequent pattern without touching the
+  /// allocator. One workspace per thread/shard; a workspace must not be used
+  /// by two runs concurrently.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+    /// Simulation passes served by this workspace.
+    std::size_t runs() const { return runs_; }
+    /// Passes during which some pool had to grow (heap allocation).
+    std::size_t grown_runs() const { return grown_runs_; }
+    /// Passes served entirely from pre-sized pools (zero allocations).
+    std::size_t reused_runs() const { return runs_ - grown_runs_; }
+
+   private:
+    friend class EventSim;
+
+    struct Pending {
+      double t_ns;
+      std::uint64_t stamp;
+      std::uint8_t value;
+    };
+    struct QueueEntry {
+      double t_ns;
+      NetId net;
+      std::uint64_t stamp;
+
+      bool operator>(const QueueEntry& o) const {
+        return t_ns != o.t_ns ? t_ns > o.t_ns : stamp > o.stamp;
+      }
+    };
+    /// Per-net time-sorted pending output events. Cancellation pops from the
+    /// back (later times); firing advances `head` -- an O(1) front pop that
+    /// keeps the storage in place for reuse.
+    struct PendingList {
+      std::vector<Pending> events;
+      std::size_t head = 0;
+
+      bool empty() const { return head == events.size(); }
+    };
+
+    /// Events reserved per net up front. Pending depth is the number of
+    /// in-flight pulses on one net, which transport semantics keeps small;
+    /// pre-reserving stops the first toggle of each not-yet-touched net
+    /// (pattern-dependent!) from allocating in steady state.
+    static constexpr std::size_t kReservedPendingPerNet = 8;
+
+    std::vector<std::uint8_t> value_;
+    std::vector<PendingList> pending_;
+    std::vector<QueueEntry> heap_;
+    std::size_t runs_ = 0;
+    std::size_t grown_runs_ = 0;
+    bool grew_ = false;
+  };
+
   EventSim(const Netlist& nl, const DelayModel& dm) : nl_(&nl), dm_(&dm) {}
 
   /// Simulate from the settled initial net values under the given stimuli.
   /// Stimuli need not be sorted. Returns the full toggle trace (stimulus
-  /// transitions included).
+  /// transitions included). Convenience wrapper over the streaming overload
+  /// with a TraceRecorder and a throwaway workspace.
   SimTrace run(std::span<const std::uint8_t> initial_net_values,
                std::span<const Stimulus> stimuli) const;
+
+  /// Streaming simulation: pushes every committed toggle into `sink` in
+  /// commit (== time) order instead of materializing a trace. Bit-identical
+  /// to the trace-returning overload for any sink composition.
+  void run(std::span<const std::uint8_t> initial_net_values,
+           std::span<const Stimulus> stimuli, Workspace& ws,
+           ToggleSink& sink) const;
 
   /// Stabilization time per net: last toggle time, 0 for untouched nets.
   static std::vector<double> settle_times(const SimTrace& trace,
@@ -81,6 +158,35 @@ class EventSim {
  private:
   const Netlist* nl_;
   const DelayModel* dm_;
+};
+
+/// Sink that reproduces the legacy SimTrace, for callers that still need the
+/// materialized toggle list (VCD debugging, Figure-7 endpoint reports).
+class TraceRecorder final : public ToggleSink {
+ public:
+  void on_begin(std::span<const std::uint8_t> /*initial*/) override {
+    trace_.toggles.clear();
+    trace_.first_toggle_ns = 0.0;
+    trace_.last_toggle_ns = 0.0;
+    trace_.num_events_processed = 0;
+    trace_.num_events_cancelled = 0;
+  }
+  void on_toggle(NetId net, double t_ns, bool rising) override {
+    trace_.toggles.push_back(
+        ToggleEvent{net, static_cast<float>(t_ns), rising});
+  }
+  void on_end(const SimStats& stats) override {
+    trace_.first_toggle_ns = stats.first_toggle_ns;
+    trace_.last_toggle_ns = stats.last_toggle_ns;
+    trace_.num_events_processed = stats.num_events_processed;
+    trace_.num_events_cancelled = stats.num_events_cancelled;
+  }
+
+  const SimTrace& trace() const { return trace_; }
+  SimTrace take() { return std::move(trace_); }
+
+ private:
+  SimTrace trace_;
 };
 
 }  // namespace scap

@@ -53,8 +53,9 @@ struct ScapReport {
   double energy(Rail r) const {
     return r == Rail::kVdd ? vdd_energy_total_pj : vss_energy_total_pj;
   }
+  /// Throws std::out_of_range for a block index beyond the floorplan.
   double block_energy(Rail r, std::size_t block) const {
-    return r == Rail::kVdd ? vdd_energy_pj[block] : vss_energy_pj[block];
+    return r == Rail::kVdd ? vdd_energy_pj.at(block) : vss_energy_pj.at(block);
   }
 };
 
@@ -67,10 +68,38 @@ class ScapCalculator {
   ScapReport compute(const SimTrace& trace, double period_ns) const;
 
  private:
+  friend class ScapAccumulator;
+
   const Netlist* nl_;
   const TechLibrary* lib_;
   std::vector<double> net_cap_pf_;     ///< per net: driver load cap
   std::vector<BlockId> net_block_;     ///< per net: block of the driver
+};
+
+/// Streaming SCAP accounting: accumulates the same per-block rail energies as
+/// ScapCalculator::compute, but directly from the simulator's toggle stream,
+/// so no trace is materialized (the paper's PLI-based calculator, literally).
+/// Reuses its report storage across passes; numbers are bit-identical to the
+/// trace-based path because toggles arrive in the same commit order.
+class ScapAccumulator final : public ToggleSink {
+ public:
+  ScapAccumulator(const ScapCalculator& calc, double period_ns)
+      : calc_(&calc) {
+    report_.period_ns = period_ns;
+  }
+
+  void set_period(double period_ns) { report_.period_ns = period_ns; }
+
+  void on_begin(std::span<const std::uint8_t> initial_net_values) override;
+  void on_toggle(NetId net, double t_ns, bool rising) override;
+  void on_end(const SimStats& stats) override;
+
+  const ScapReport& report() const { return report_; }
+  ScapReport take_report() { return std::move(report_); }
+
+ private:
+  const ScapCalculator* calc_;
+  ScapReport report_;
 };
 
 }  // namespace scap

@@ -1,0 +1,31 @@
+#include "sim/toggle_sink.h"
+
+namespace scap {
+
+ToggleSink::~ToggleSink() = default;
+
+void ToggleSink::on_begin(std::span<const std::uint8_t> /*initial*/) {}
+
+void ToggleSink::on_end(const SimStats& /*stats*/) {}
+
+FanoutSink::FanoutSink(std::initializer_list<ToggleSink*> sinks) {
+  for (ToggleSink* s : sinks) add(s);
+}
+
+void FanoutSink::add(ToggleSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
+}
+
+void FanoutSink::on_begin(std::span<const std::uint8_t> initial_net_values) {
+  for (ToggleSink* s : sinks_) s->on_begin(initial_net_values);
+}
+
+void FanoutSink::on_toggle(NetId net, double t_ns, bool rising) {
+  for (ToggleSink* s : sinks_) s->on_toggle(net, t_ns, rising);
+}
+
+void FanoutSink::on_end(const SimStats& stats) {
+  for (ToggleSink* s : sinks_) s->on_end(stats);
+}
+
+}  // namespace scap

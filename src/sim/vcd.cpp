@@ -19,12 +19,10 @@ std::string vcd_id(NetId n) {
   return id;
 }
 
-}  // namespace
-
-void write_vcd(const Netlist& nl,
-               std::span<const std::uint8_t> initial_net_values,
-               const SimTrace& trace, std::ostream& os,
-               const std::string& top_name) {
+/// Header + $dumpvars snapshot shared by the trace writer and the sink.
+void write_vcd_prologue(const Netlist& nl,
+                        std::span<const std::uint8_t> initial_net_values,
+                        std::ostream& os, const std::string& top_name) {
   os << "$date reproduction run $end\n";
   os << "$version scapgen vcd writer $end\n";
   os << "$timescale 1ps $end\n";
@@ -39,6 +37,15 @@ void write_vcd(const Netlist& nl,
     os << (initial_net_values[n] ? '1' : '0') << vcd_id(n) << '\n';
   }
   os << "$end\n";
+}
+
+}  // namespace
+
+void write_vcd(const Netlist& nl,
+               std::span<const std::uint8_t> initial_net_values,
+               const SimTrace& trace, std::ostream& os,
+               const std::string& top_name) {
+  write_vcd_prologue(nl, initial_net_values, os, top_name);
 
   long long cur_ps = -1;
   for (const ToggleEvent& t : trace.toggles) {
@@ -57,6 +64,22 @@ std::string to_vcd(const Netlist& nl,
   std::ostringstream os;
   write_vcd(nl, initial_net_values, trace, os, top_name);
   return os.str();
+}
+
+void VcdSink::on_begin(std::span<const std::uint8_t> initial_net_values) {
+  cur_ps_ = -1;
+  write_vcd_prologue(*nl_, initial_net_values, *os_, top_name_);
+}
+
+void VcdSink::on_toggle(NetId net, double t_ns, bool rising) {
+  // Round through float: the trace writer reads float timestamps back.
+  const double t = static_cast<double>(static_cast<float>(t_ns));
+  const long long ps = std::llround(t * 1000.0);
+  if (ps != cur_ps_) {
+    *os_ << '#' << ps << '\n';
+    cur_ps_ = ps;
+  }
+  *os_ << (rising ? '1' : '0') << vcd_id(net) << '\n';
 }
 
 }  // namespace scap

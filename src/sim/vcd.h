@@ -3,7 +3,9 @@
 // The paper's point (Section 3.2) is that VCD files are too large for bulk
 // per-pattern analysis, which is why the SCAP calculator taps the simulator
 // directly. The writer exists for what the paper still uses VCD for:
-// debugging a handful of suspect patterns in a waveform viewer.
+// debugging a handful of suspect patterns in a waveform viewer. VcdSink
+// streams the same document straight off the simulator, so a waveform can be
+// captured without ever materializing the trace either.
 #pragma once
 
 #include <iosfwd>
@@ -24,5 +26,25 @@ void write_vcd(const Netlist& nl,
 std::string to_vcd(const Netlist& nl,
                    std::span<const std::uint8_t> initial_net_values,
                    const SimTrace& trace, const std::string& top_name = "top");
+
+/// Streaming VCD writer: emits the header and $dumpvars snapshot in on_begin
+/// and each toggle as it commits. Byte-identical to write_vcd over the trace
+/// of the same simulation (timestamps round through the trace's float
+/// representation on purpose).
+class VcdSink final : public ToggleSink {
+ public:
+  VcdSink(const Netlist& nl, std::ostream& os,
+          const std::string& top_name = "top")
+      : nl_(&nl), os_(&os), top_name_(top_name) {}
+
+  void on_begin(std::span<const std::uint8_t> initial_net_values) override;
+  void on_toggle(NetId net, double t_ns, bool rising) override;
+
+ private:
+  const Netlist* nl_;
+  std::ostream* os_;
+  std::string top_name_;
+  long long cur_ps_ = -1;
+};
 
 }  // namespace scap

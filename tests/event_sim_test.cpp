@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "atpg/context.h"
 #include "core/pattern_sim.h"
 #include "layout/parasitics.h"
@@ -202,6 +204,18 @@ TEST(DelayModel, DroopScalesDelays) {
   EXPECT_NEAR(dm.rise_ns(1), base * (1.0 + lib.k_volt() * 0.1), 1e-12);
   dm.set_droop(lib, {});  // reset
   EXPECT_DOUBLE_EQ(dm.rise_ns(1), base);
+}
+
+TEST(DelayModel, SetDroopValidatesSize) {
+  Rig rig(inv_chain(3));
+  const TechLibrary& lib = TechLibrary::generic180();
+  DelayModel dm = rig.dm;
+  const std::vector<double> wrong(rig.nl.num_gates() + 1, 0.05);
+  EXPECT_THROW(dm.set_droop(lib, wrong), std::invalid_argument);
+  const std::vector<double> short_vec(rig.nl.num_gates() - 1, 0.05);
+  EXPECT_THROW(dm.set_droop(lib, short_vec), std::invalid_argument);
+  // The failed calls must not have corrupted the model.
+  EXPECT_DOUBLE_EQ(dm.rise_ns(1), rig.dm.rise_ns(1));
 }
 
 TEST(Vcd, WellFormedOutput) {

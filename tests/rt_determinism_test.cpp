@@ -174,6 +174,34 @@ TEST(RtDeterminism, StatisticalAnalysisInvariant) {
   EXPECT_EQ(at1.chip_worst_vdd_v, at4.chip_worst_vdd_v);
 }
 
+TEST(RtDeterminism, ValidatePatternIrInvariant) {
+  // The single-pass streaming validation (trace + SCAP + rail charges +
+  // settle times off one simulation, then two parallel grid solves) must be
+  // bit-identical at any thread count.
+  const Experiment& exp = exp_fixture();
+  const PatternSet pats =
+      random_pattern_set(1, exp.ctx.num_vars(), /*seed=*/2007);
+  auto run = [&] {
+    return validate_pattern_ir(exp.soc, *exp.lib, exp.grid, exp.ctx,
+                               pats.patterns[0]);
+  };
+  const IrValidationResult at1 = at_threads(1, run);
+  const IrValidationResult at4 = at_threads(4, run);
+
+  EXPECT_EQ(at1.nominal.scap.vdd_energy_pj, at4.nominal.scap.vdd_energy_pj);
+  EXPECT_EQ(at1.nominal.scap.stw_ns, at4.nominal.scap.stw_ns);
+  EXPECT_EQ(at1.nominal.trace.toggles.size(), at4.nominal.trace.toggles.size());
+  EXPECT_EQ(at1.ir.worst_vdd_v, at4.ir.worst_vdd_v);
+  EXPECT_EQ(at1.ir.worst_vss_v, at4.ir.worst_vss_v);
+  EXPECT_EQ(at1.ir.gate_droop_v, at4.ir.gate_droop_v);
+  EXPECT_EQ(at1.ir.flop_droop_v, at4.ir.flop_droop_v);
+  EXPECT_EQ(at1.scaled_arrival_ns, at4.scaled_arrival_ns);
+  EXPECT_EQ(at1.nominal_endpoint_ns, at4.nominal_endpoint_ns);
+  EXPECT_EQ(at1.scaled_endpoint_ns, at4.scaled_endpoint_ns);
+  EXPECT_EQ(at1.scaled.scap.vdd_energy_total_pj,
+            at4.scaled.scap.vdd_energy_total_pj);
+}
+
 TEST(RtDeterminism, RepairFlowInvariant) {
   // The repair loop interleaves parallel grading, parallel SCAP screening,
   // and serial ATPG rounds; the kept pattern set must not depend on the

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "atpg/context.h"
 #include "core/pattern_sim.h"
 #include "sim/scap.h"
@@ -46,6 +48,17 @@ TEST(Scap, BlockEnergiesSumToTotal) {
   sum = 0.0;
   for (double e : pa.scap.vss_energy_pj) sum += e;
   EXPECT_NEAR(sum, pa.scap.vss_energy_total_pj, 1e-9);
+}
+
+TEST(Scap, BlockEnergyBoundsChecked) {
+  ScapRig rig;
+  const PatternAnalysis pa = rig.analyze_random(4);
+  ASSERT_GT(pa.scap.stw_ns, 0.0);  // so block_scap_mw reaches block_energy
+  const std::size_t blocks = pa.scap.vdd_energy_pj.size();
+  EXPECT_THROW(pa.scap.block_energy(Rail::kVdd, blocks), std::out_of_range);
+  EXPECT_THROW(pa.scap.block_energy(Rail::kVss, blocks), std::out_of_range);
+  EXPECT_THROW(pa.scap.block_scap_mw(Rail::kVdd, blocks), std::out_of_range);
+  EXPECT_NO_THROW(pa.scap.block_energy(Rail::kVdd, blocks - 1));
 }
 
 TEST(Scap, CapScapRatioIsPeriodOverStw) {
