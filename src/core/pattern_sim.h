@@ -76,6 +76,12 @@ class PatternAnalyzer {
   /// Settled frame-1 net values of the most recent analysis.
   std::span<const std::uint8_t> frame1() const { return frame1_; }
 
+  /// Launch stimuli of the most recent analysis (flop Q flips at their clock
+  /// arrivals). Together with frame1() this is the oracle hook the
+  /// differential harness (src/ref) uses to replay the exact same simulation
+  /// input through the reference engine.
+  std::span<const Stimulus> stimuli() const { return stimuli_; }
+
   const DelayModel& nominal_delays() const { return nominal_dm_; }
   const ScapCalculator& scap_calculator() const { return scap_; }
   const EventSim::Workspace& workspace() const { return ws_; }

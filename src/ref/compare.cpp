@@ -1,0 +1,152 @@
+#include "ref/compare.h"
+
+#include <sstream>
+
+namespace scap::ref {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+bool fail(std::string* why, const std::string& msg) {
+  if (why) *why = msg;
+  return false;
+}
+
+}  // namespace
+
+bool compare_traces(const SimTrace& optimized, const SimTrace& reference,
+                    std::string* why) {
+  if (optimized.toggles.size() != reference.toggles.size()) {
+    return fail(why, "toggle count " + std::to_string(optimized.toggles.size()) +
+                         " != ref " + std::to_string(reference.toggles.size()));
+  }
+  for (std::size_t i = 0; i < optimized.toggles.size(); ++i) {
+    const ToggleEvent& a = optimized.toggles[i];
+    const ToggleEvent& b = reference.toggles[i];
+    if (a.net != b.net || a.t_ns != b.t_ns || a.rising != b.rising) {
+      return fail(why, "toggle[" + std::to_string(i) + "] (net " +
+                           std::to_string(a.net) + ", t " + fmt(a.t_ns) +
+                           ", rising " + std::to_string(a.rising) +
+                           ") != ref (net " + std::to_string(b.net) + ", t " +
+                           fmt(b.t_ns) + ", rising " + std::to_string(b.rising) +
+                           ")");
+    }
+  }
+  if (optimized.first_toggle_ns != reference.first_toggle_ns ||
+      optimized.last_toggle_ns != reference.last_toggle_ns) {
+    return fail(why, "window [" + fmt(optimized.first_toggle_ns) + ", " +
+                         fmt(optimized.last_toggle_ns) + "] != ref [" +
+                         fmt(reference.first_toggle_ns) + ", " +
+                         fmt(reference.last_toggle_ns) + "]");
+  }
+  if (optimized.num_events_processed != reference.num_events_processed) {
+    return fail(why, "events processed " +
+                         std::to_string(optimized.num_events_processed) +
+                         " != ref " +
+                         std::to_string(reference.num_events_processed));
+  }
+  if (optimized.num_events_cancelled != reference.num_events_cancelled) {
+    return fail(why, "events cancelled " +
+                         std::to_string(optimized.num_events_cancelled) +
+                         " != ref " +
+                         std::to_string(reference.num_events_cancelled));
+  }
+  return true;
+}
+
+bool compare_scap(const ScapReport& optimized, const ScapReport& reference,
+                  std::string* why) {
+  if (optimized.num_toggles != reference.num_toggles) {
+    return fail(why, "num_toggles " + std::to_string(optimized.num_toggles) +
+                         " != ref " + std::to_string(reference.num_toggles));
+  }
+  if (!close_enough(optimized.stw_ns, reference.stw_ns, kStwRelTol,
+                    kStwAbsTolNs)) {
+    return fail(why, "stw_ns " + fmt(optimized.stw_ns) + " != ref " +
+                         fmt(reference.stw_ns));
+  }
+  if (!close_enough(optimized.period_ns, reference.period_ns, kStwRelTol)) {
+    return fail(why, "period_ns " + fmt(optimized.period_ns) + " != ref " +
+                         fmt(reference.period_ns));
+  }
+  if (optimized.vdd_energy_pj.size() != reference.vdd_energy_pj.size() ||
+      optimized.vss_energy_pj.size() != reference.vss_energy_pj.size()) {
+    return fail(why, "block count mismatch");
+  }
+  auto check_rail = [&](const char* rail, double total_a, double total_b,
+                        const std::vector<double>& blocks_a,
+                        const std::vector<double>& blocks_b) {
+    if (!close_enough(total_a, total_b, kEnergyRelTol)) {
+      return fail(why, std::string(rail) + " total " + fmt(total_a) +
+                           " pJ != ref " + fmt(total_b) + " pJ");
+    }
+    for (std::size_t b = 0; b < blocks_a.size(); ++b) {
+      if (!close_enough(blocks_a[b], blocks_b[b], kEnergyRelTol)) {
+        return fail(why, std::string(rail) + " block " + std::to_string(b) +
+                             " energy " + fmt(blocks_a[b]) + " pJ != ref " +
+                             fmt(blocks_b[b]) + " pJ");
+      }
+    }
+    return true;
+  };
+  if (!check_rail("vdd", optimized.vdd_energy_total_pj,
+                  reference.vdd_energy_total_pj, optimized.vdd_energy_pj,
+                  reference.vdd_energy_pj)) {
+    return false;
+  }
+  return check_rail("vss", optimized.vss_energy_total_pj,
+                    reference.vss_energy_total_pj, optimized.vss_energy_pj,
+                    reference.vss_energy_pj);
+}
+
+bool compare_grade(std::span<const std::size_t> optimized,
+                   std::span<const std::size_t> reference, std::string* why) {
+  if (optimized.size() != reference.size()) {
+    return fail(why, "graded fault count " + std::to_string(optimized.size()) +
+                         " != ref " + std::to_string(reference.size()));
+  }
+  for (std::size_t i = 0; i < optimized.size(); ++i) {
+    if (optimized[i] != reference[i]) {
+      auto show = [](std::size_t v) {
+        return v == static_cast<std::size_t>(-1) ? std::string("undetected")
+                                                 : std::to_string(v);
+      };
+      return fail(why, "fault " + std::to_string(i) + " first-detect " +
+                           show(optimized[i]) + " != ref " +
+                           show(reference[i]));
+    }
+  }
+  return true;
+}
+
+bool compare_grid(const GridSolution& optimized, const GridSolution& reference,
+                  std::string* why, double rel, double abs) {
+  if (optimized.nx != reference.nx || optimized.ny != reference.ny) {
+    return fail(why, "mesh " + std::to_string(optimized.nx) + "x" +
+                         std::to_string(optimized.ny) + " != ref " +
+                         std::to_string(reference.nx) + "x" +
+                         std::to_string(reference.ny));
+  }
+  if (!optimized.converged) return fail(why, "optimized solve not converged");
+  if (!reference.converged) return fail(why, "reference solve not converged");
+  for (std::size_t i = 0; i < optimized.drop_v.size(); ++i) {
+    if (!close_enough(optimized.drop_v[i], reference.drop_v[i], rel, abs)) {
+      return fail(why, "node " + std::to_string(i) + " drop " +
+                           fmt(optimized.drop_v[i]) + " V != ref " +
+                           fmt(reference.drop_v[i]) + " V");
+    }
+  }
+  if (!close_enough(optimized.worst(), reference.worst(), rel, abs)) {
+    return fail(why, "worst drop " + fmt(optimized.worst()) + " V != ref " +
+                         fmt(reference.worst()) + " V");
+  }
+  return true;
+}
+
+}  // namespace scap::ref

@@ -1,7 +1,10 @@
 #include "sim/sdf.h"
 
+#include <cctype>
+#include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "netlist/verilog.h"
 
@@ -41,6 +44,239 @@ std::string to_sdf(const Netlist& nl, const DelayModel& dm,
                    const std::string& design_name) {
   std::ostringstream os;
   write_sdf(nl, dm, os, design_name);
+  return os.str();
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+struct Token {
+  enum Kind { kLParen, kRParen, kString, kAtom, kEnd };
+  Kind kind = kEnd;
+  std::string text;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) : is_(is) {}
+
+  Token next() {
+    for (int c = is_.get(); c != EOF; c = is_.get()) {
+      if (c == '\n') {
+        ++line_;
+        continue;
+      }
+      if (std::isspace(c)) continue;
+      if (c == '(') return {Token::kLParen, "(", line_};
+      if (c == ')') return {Token::kRParen, ")", line_};
+      if (c == '"') {
+        std::string s;
+        for (int q = is_.get();; q = is_.get()) {
+          if (q == EOF || q == '\n') {
+            throw std::runtime_error("sdf: line " + std::to_string(line_) +
+                                     ": unterminated string");
+          }
+          if (q == '"') break;
+          s.push_back(static_cast<char>(q));
+        }
+        return {Token::kString, std::move(s), line_};
+      }
+      std::string a(1, static_cast<char>(c));
+      for (int p = is_.peek();
+           p != EOF && !std::isspace(p) && p != '(' && p != ')' && p != '"';
+           p = is_.peek()) {
+        a.push_back(static_cast<char>(is_.get()));
+      }
+      return {Token::kAtom, std::move(a), line_};
+    }
+    return {Token::kEnd, "", line_};
+  }
+
+ private:
+  std::istream& is_;
+  std::size_t line_ = 1;
+};
+
+[[noreturn]] void bail(const Token& t, const std::string& msg) {
+  throw std::runtime_error("sdf: line " + std::to_string(t.line) + ": " + msg);
+}
+
+class Parser {
+ public:
+  explicit Parser(std::istream& is) : lex_(is) { cur_ = lex_.next(); }
+
+  SdfDocument parse() {
+    expect(Token::kLParen, "expected (DELAYFILE");
+    expect_atom("DELAYFILE");
+    SdfDocument doc;
+    while (cur_.kind == Token::kLParen) {
+      advance();
+      const std::string kw = take_atom("section keyword");
+      if (kw == "SDFVERSION") {
+        doc.version = take_string("SDFVERSION value");
+      } else if (kw == "DESIGN") {
+        doc.design = take_string("DESIGN value");
+      } else if (kw == "VENDOR") {
+        doc.vendor = take_string("VENDOR value");
+      } else if (kw == "PROGRAM") {
+        doc.program = take_string("PROGRAM value");
+      } else if (kw == "DIVIDER") {
+        doc.divider = take_atom("DIVIDER value");
+      } else if (kw == "TIMESCALE") {
+        doc.timescale = take_atom("TIMESCALE value");
+      } else if (kw == "CELL") {
+        doc.cells.push_back(parse_cell());
+        continue;  // parse_cell consumed the closing paren
+      } else {
+        bail(cur_, "unsupported section (" + kw);
+      }
+      expect(Token::kRParen, "expected ) closing (" + kw);
+    }
+    expect(Token::kRParen, "expected ) closing (DELAYFILE");
+    if (cur_.kind != Token::kEnd) bail(cur_, "trailing tokens after )");
+    return doc;
+  }
+
+ private:
+  void advance() { cur_ = lex_.next(); }
+
+  void expect(Token::Kind k, const std::string& what) {
+    if (cur_.kind != k) bail(cur_, what + ", got '" + cur_.text + "'");
+    advance();
+  }
+
+  void expect_atom(const std::string& word) {
+    if (cur_.kind != Token::kAtom || cur_.text != word) {
+      bail(cur_, "expected " + word + ", got '" + cur_.text + "'");
+    }
+    advance();
+  }
+
+  std::string take_atom(const std::string& what) {
+    if (cur_.kind != Token::kAtom) {
+      bail(cur_, "expected " + what + ", got '" + cur_.text + "'");
+    }
+    std::string s = std::move(cur_.text);
+    advance();
+    return s;
+  }
+
+  std::string take_string(const std::string& what) {
+    if (cur_.kind != Token::kString) {
+      bail(cur_, "expected quoted " + what + ", got '" + cur_.text + "'");
+    }
+    std::string s = std::move(cur_.text);
+    advance();
+    return s;
+  }
+
+  /// "(a:b:c)" with three equal parsable values; returns the value.
+  double parse_triple(const char* what) {
+    expect(Token::kLParen, std::string("expected (") + what + " triple");
+    const Token at = cur_;
+    const std::string a = take_atom("delay triple");
+    double v[3] = {0, 0, 0};
+    std::size_t pos = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (i > 0) {
+        if (pos >= a.size() || a[pos] != ':') {
+          bail(at, "malformed triple '" + a + "'");
+        }
+        ++pos;
+      }
+      std::size_t used = 0;
+      try {
+        v[i] = std::stod(a.substr(pos), &used);
+      } catch (const std::exception&) {
+        bail(at, "malformed triple '" + a + "'");
+      }
+      pos += used;
+    }
+    if (pos != a.size()) bail(at, "malformed triple '" + a + "'");
+    if (v[0] != v[1] || v[1] != v[2]) {
+      bail(at, "min:typ:max spread '" + a + "' unsupported");
+    }
+    expect(Token::kRParen, "expected ) closing delay triple");
+    return v[1];
+  }
+
+  SdfCell parse_cell() {
+    SdfCell cell;
+    // (CELLTYPE "x")
+    expect(Token::kLParen, "expected (CELLTYPE");
+    expect_atom("CELLTYPE");
+    cell.celltype = take_string("CELLTYPE value");
+    expect(Token::kRParen, "expected ) closing (CELLTYPE");
+    // (INSTANCE name)
+    expect(Token::kLParen, "expected (INSTANCE");
+    expect_atom("INSTANCE");
+    cell.instance = take_atom("INSTANCE name");
+    expect(Token::kRParen, "expected ) closing (INSTANCE");
+    // (DELAY (ABSOLUTE (IOPATH pin Y (r:r:r) (f:f:f)) ... ))
+    expect(Token::kLParen, "expected (DELAY");
+    expect_atom("DELAY");
+    expect(Token::kLParen, "expected (ABSOLUTE");
+    expect_atom("ABSOLUTE");
+    while (cur_.kind == Token::kLParen) {
+      advance();
+      expect_atom("IOPATH");
+      SdfIopath path;
+      path.pin = take_atom("IOPATH input pin");
+      expect_atom("Y");
+      path.rise_ns = parse_triple("rise");
+      path.fall_ns = parse_triple("fall");
+      expect(Token::kRParen, "expected ) closing (IOPATH");
+      cell.iopaths.push_back(std::move(path));
+    }
+    expect(Token::kRParen, "expected ) closing (ABSOLUTE");
+    expect(Token::kRParen, "expected ) closing (DELAY");
+    expect(Token::kRParen, "expected ) closing (CELL");
+    return cell;
+  }
+
+  Lexer lex_;
+  Token cur_;
+};
+
+}  // namespace
+
+SdfDocument parse_sdf(std::istream& is) { return Parser(is).parse(); }
+
+SdfDocument parse_sdf(const std::string& text) {
+  std::istringstream is(text);
+  return parse_sdf(is);
+}
+
+void write_sdf(const SdfDocument& doc, std::ostream& os) {
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"" << doc.version << "\")\n";
+  os << "  (DESIGN \"" << doc.design << "\")\n";
+  os << "  (VENDOR \"" << doc.vendor << "\")\n";
+  os << "  (PROGRAM \"" << doc.program << "\")\n";
+  os << "  (DIVIDER " << doc.divider << ")\n";
+  os << "  (TIMESCALE " << doc.timescale << ")\n";
+
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  for (const SdfCell& cell : doc.cells) {
+    os << "  (CELL (CELLTYPE \"" << cell.celltype << "\")\n";
+    os << "    (INSTANCE " << cell.instance << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    for (const SdfIopath& p : cell.iopaths) {
+      os << "      (IOPATH " << p.pin << " Y (" << p.rise_ns << ':'
+         << p.rise_ns << ':' << p.rise_ns << ") (" << p.fall_ns << ':'
+         << p.fall_ns << ':' << p.fall_ns << "))\n";
+    }
+    os << "    ))\n  )\n";
+  }
+  os << ")\n";
+}
+
+std::string to_sdf(const SdfDocument& doc) {
+  std::ostringstream os;
+  write_sdf(doc, os);
   return os.str();
 }
 

@@ -1,4 +1,4 @@
-// Standard Delay Format (SDF 3.0) export.
+// Standard Delay Format (SDF 3.0) export and (subset) import.
 //
 // The paper back-annotates gate and interconnect delays into its gate-level
 // simulation via SDF; this writer produces the equivalent document from the
@@ -6,11 +6,18 @@
 // One CELL per gate instance with an IOPATH from every input pin to Y,
 // (rise:fall) per edge; an optional per-instance voltage-droop map emits the
 // IR-derated delays of the Section 3.2 re-simulation.
+//
+// The parser reads the same subset back into an SdfDocument -- header fields,
+// CELL / IOPATH structure, and (min:typ:max) delay triples -- and the
+// document writer re-emits it byte-identically, giving the differential test
+// suite a write -> parse -> write round-trip property over random delay
+// models (tests/sdf_test.cpp).
 #pragma once
 
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.h"
 #include "sim/event_sim.h"
@@ -22,5 +29,40 @@ void write_sdf(const Netlist& nl, const DelayModel& dm, std::ostream& os,
 
 std::string to_sdf(const Netlist& nl, const DelayModel& dm,
                    const std::string& design_name = "top");
+
+// ---- parsed document model ------------------------------------------------
+
+struct SdfIopath {
+  std::string pin;  ///< input pin name; the output is always Y
+  double rise_ns = 0.0;
+  double fall_ns = 0.0;
+};
+
+struct SdfCell {
+  std::string celltype;
+  std::string instance;
+  std::vector<SdfIopath> iopaths;
+};
+
+struct SdfDocument {
+  std::string version = "3.0";
+  std::string design = "top";
+  std::string vendor = "scapgen";
+  std::string program = "scapgen sdf writer";
+  std::string divider = "/";
+  std::string timescale = "1ns";
+  std::vector<SdfCell> cells;
+};
+
+/// Parse the writer's SDF subset. Throws std::runtime_error with a
+/// line-numbered message on malformed input; (min:typ:max) triples must have
+/// three parsable, equal values (the writer never emits a spread).
+SdfDocument parse_sdf(std::istream& is);
+SdfDocument parse_sdf(const std::string& text);
+
+/// Re-emit a parsed document in exactly the writer's format, so
+/// to_sdf(parse_sdf(text)) == text for any writer-produced text.
+void write_sdf(const SdfDocument& doc, std::ostream& os);
+std::string to_sdf(const SdfDocument& doc);
 
 }  // namespace scap

@@ -143,8 +143,11 @@ Netlist generate_soc_netlist(const SocConfig& cfg) {
     const auto& levels = block_levels[b];
     const std::uint32_t max_lvl =
         static_cast<std::uint32_t>(levels.size()) - 1;
-    const std::uint32_t lo = target > 3 ? target - 3 : 0;
+    // A cross-block first input can sit deeper than this block's own logic
+    // (target > max_lvl); clamp lo to hi or the window [lo, hi] inverts and
+    // the draw below underflows.
     const std::uint32_t hi = std::min(target, max_lvl);
+    const std::uint32_t lo = std::min(target > 3 ? target - 3 : 0, hi);
     for (int attempt = 0; attempt < 6; ++attempt) {
       const std::uint32_t lvl =
           lo + static_cast<std::uint32_t>(rng.below(hi - lo + 1));

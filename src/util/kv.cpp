@@ -1,0 +1,145 @@
+#include "util/kv.h"
+
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace scap::util {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace
+
+void KvDoc::set(std::string key, std::string value) {
+  if (find(key) != nullptr) {
+    throw std::runtime_error("kv: duplicate key '" + key + "'");
+  }
+  entries_.emplace_back(std::move(key), std::move(value));
+}
+
+void KvDoc::set_u64(std::string key, std::uint64_t v) {
+  set(std::move(key), std::to_string(v));
+}
+
+void KvDoc::set_f64(std::string key, double v) {
+  // %.17g round-trips every finite double through strtod.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  set(std::move(key), buf);
+}
+
+void KvDoc::set_bool(std::string key, bool v) {
+  set(std::move(key), v ? "true" : "false");
+}
+
+void KvDoc::comment(std::string text) {
+  entries_.emplace_back("#", std::move(text));
+}
+
+const std::string* KvDoc::find(std::string_view key) const {
+  if (key == "#") return nullptr;  // comments are not addressable pairs
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string KvDoc::get(std::string_view key, std::string fallback) const {
+  const std::string* v = find(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::uint64_t KvDoc::get_u64(std::string_view key,
+                             std::uint64_t fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  try {
+    out = std::stoull(*v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v->size()) {
+    throw std::runtime_error("kv: key '" + std::string(key) +
+                             "' holds non-integer value '" + *v + "'");
+  }
+  return out;
+}
+
+double KvDoc::get_f64(std::string_view key, double fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(*v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v->size() || !std::isfinite(out)) {
+    throw std::runtime_error("kv: key '" + std::string(key) +
+                             "' holds non-numeric value '" + *v + "'");
+  }
+  return out;
+}
+
+bool KvDoc::get_bool(std::string_view key, bool fallback) const {
+  const std::string* v = find(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1") return true;
+  if (*v == "false" || *v == "0") return false;
+  throw std::runtime_error("kv: key '" + std::string(key) +
+                           "' holds non-boolean value '" + *v + "'");
+}
+
+KvDoc KvDoc::parse(std::istream& is) {
+  KvDoc doc;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const std::size_t sp = t.find_first_of(" \t");
+    if (sp == std::string::npos) {
+      throw std::runtime_error("kv: line " + std::to_string(lineno) +
+                               ": key '" + t + "' has no value");
+    }
+    doc.set(t.substr(0, sp), trim(t.substr(sp + 1)));
+  }
+  return doc;
+}
+
+KvDoc KvDoc::parse(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+void KvDoc::write(std::ostream& os) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == "#") {
+      os << "# " << v << '\n';
+    } else {
+      os << k << ' ' << v << '\n';
+    }
+  }
+}
+
+std::string KvDoc::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace scap::util

@@ -1,0 +1,60 @@
+// Line-oriented key/value document: the serialization substrate of the
+// differential-fuzzing scenario files (tests/corpus/*.scenario).
+//
+// Format, chosen for hand-editability and trivial diffing:
+//   # comment (kept out of the parse; writers may emit them)
+//   key value-with-possible-spaces
+// One pair per line, keys unique, order preserved. Round-trip contract:
+// write(parse(text)) reproduces the same pairs in the same order, so a
+// corpus entry re-serialized by the shrinker stays byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scap::util {
+
+class KvDoc {
+ public:
+  /// Append a pair; throws std::runtime_error on a duplicate key.
+  void set(std::string key, std::string value);
+  void set_u64(std::string key, std::uint64_t v);
+  void set_f64(std::string key, double v);
+  void set_bool(std::string key, bool v);
+
+  /// Append a comment line (written as "# text"; parse() drops comments, so
+  /// they are writer-side annotation only).
+  void comment(std::string text);
+
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::runtime_error when the key is present but unparsable.
+  std::string get(std::string_view key, std::string fallback = {}) const;
+  std::uint64_t get_u64(std::string_view key, std::uint64_t fallback) const;
+  double get_f64(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  /// Parse from text. Throws std::runtime_error on malformed lines (a line
+  /// with no value) or duplicate keys.
+  static KvDoc parse(std::istream& is);
+  static KvDoc parse(const std::string& text);
+
+  void write(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  const std::string* find(std::string_view key) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace scap::util

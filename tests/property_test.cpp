@@ -248,6 +248,52 @@ INSTANTIATE_TEST_SUITE_P(Modes, FillProperty,
                          });
 
 // ---------------------------------------------------------------------------
+// Fault grading across seeds: coverage is monotonic in pattern-prefix order.
+// ---------------------------------------------------------------------------
+class FaultGradeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultGradeProperty, CoverageMonotonicInPatternPrefix) {
+  const SocDesign& soc = test::tiny_soc();
+  const Netlist& nl = soc.netlist;
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  FaultSimulator fsim(nl, ctx);
+  Rng rng(GetParam() * 101 + 13);
+  std::vector<Pattern> pats(6);
+  for (auto& p : pats) {
+    p.s1.resize(nl.num_flops());
+    for (auto& b : p.s1) b = static_cast<std::uint8_t>(rng.below(2));
+  }
+  const auto full = fsim.grade(pats, faults, nullptr);
+  std::size_t prev_detected = 0;
+  for (std::size_t k = 1; k <= pats.size(); ++k) {
+    const std::vector<Pattern> prefix(pats.begin(), pats.begin() + k);
+    const auto first = fsim.grade(prefix, faults, nullptr);
+    ASSERT_EQ(first.size(), full.size());
+    std::size_t detected = 0;
+    for (std::size_t i = 0; i < first.size(); ++i) {
+      // A prefix grade must agree with the full grade wherever the full
+      // first-detect index falls inside the prefix, and report undetected
+      // where it does not: adding patterns never loses a detection and
+      // never changes an earlier first-detect index.
+      if (full[i] != FaultSimulator::kUndetected && full[i] < k) {
+        ASSERT_EQ(first[i], full[i]) << "fault " << i << " prefix " << k;
+      } else {
+        ASSERT_EQ(first[i], FaultSimulator::kUndetected)
+            << "fault " << i << " prefix " << k;
+      }
+      detected += (first[i] != FaultSimulator::kUndetected);
+    }
+    EXPECT_GE(detected, prev_detected) << "prefix " << k;
+    prev_detected = detected;
+  }
+  EXPECT_GT(prev_detected, 0u);  // six random patterns must detect something
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultGradeProperty,
+                         ::testing::Values(1, 7, 19, 42, 2007));
+
+// ---------------------------------------------------------------------------
 // ATPG determinism across schemes.
 // ---------------------------------------------------------------------------
 class SchemeProperty : public ::testing::TestWithParam<LaunchScheme> {};

@@ -1,0 +1,145 @@
+// Differential-oracle regression suite.
+//
+// Every file under tests/corpus/ (compiled in as SCAP_CORPUS_DIR) is
+// registered as its own test case and replayed through run_scenario,
+// asserting zero divergence between the optimized kernels and the src/ref
+// oracles. A divergent corpus entry is a regression in whichever kernel the
+// entry's checks cover -- the failure message names the oracle and the
+// mismatching quantity.
+//
+// The suite also runs a small in-process fuzz smoke, the shrinking
+// self-test (injected bugs must be caught and minimized), and the Scenario /
+// KvDoc serialization round-trips the corpus format depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ref/fuzz.h"
+#include "ref/scenario.h"
+#include "util/kv.h"
+
+namespace scap::ref {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = SCAP_CORPUS_DIR;
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.path().extension() == ".scenario") {
+        files.push_back(e.path().string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, NoDivergence) {
+  const Scenario sc = Scenario::parse(slurp(GetParam()));
+  ASSERT_GT(sc.enabled_checks(), 0u) << GetParam() << " checks nothing";
+  const ScenarioResult r = run_scenario(sc);
+  for (const Divergence& d : r.divergences) {
+    ADD_FAILURE() << "[" << d.oracle << "] " << d.detail;
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
+                         ::testing::ValuesIn(corpus_files()), param_name);
+
+TEST(CorpusDir, SeedCorpusPresent) {
+  // The hand-picked seed corpus must never silently disappear.
+  EXPECT_GE(corpus_files().size(), 5u);
+}
+
+TEST(FuzzSmoke, RandomScenariosAgree) {
+  FuzzOptions opt;
+  opt.iterations = 25;
+  opt.seed = 0x5eed;
+  opt.shrink = false;  // a failure here is reported, not minimized
+  const FuzzStats st = run_fuzz(opt);
+  EXPECT_EQ(st.executed, opt.iterations);
+  for (const FailureReport& f : st.failures) {
+    ADD_FAILURE() << "seed " << f.seed << ": [" << f.divergence.oracle << "] "
+                  << f.divergence.detail;
+  }
+}
+
+TEST(SelfTest, InjectedBugsAreCaughtAndShrunk) {
+  std::ostringstream log;
+  const bool ok = run_self_test(&log, /*max_repro_patterns=*/3);
+  EXPECT_TRUE(ok) << log.str();
+}
+
+TEST(ScenarioSerialization, RoundTripsByteStable) {
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    const Scenario sc = Scenario::random(seed);
+    const std::string text = sc.serialize();
+    const Scenario back = Scenario::parse(text);
+    EXPECT_EQ(back.serialize(), text) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioSerialization, MissingKeysKeepDefaults) {
+  const Scenario sc = Scenario::parse("num_patterns 7\n");
+  const Scenario def;
+  EXPECT_EQ(sc.num_patterns, 7u);
+  EXPECT_EQ(sc.soc_seed, def.soc_seed);
+  EXPECT_EQ(sc.check_grid, def.check_grid);
+  EXPECT_EQ(sc.fill_mode, def.fill_mode);
+}
+
+TEST(KvDoc, RoundTripAndTypedAccess) {
+  util::KvDoc doc;
+  doc.comment("header");
+  doc.set("name", "a value with spaces");
+  doc.set_u64("n", 42);
+  doc.set_f64("x", 0.1);
+  doc.set_bool("flag", true);
+  const std::string text = doc.to_string();
+
+  const util::KvDoc back = util::KvDoc::parse(text);
+  EXPECT_EQ(back.get("name"), "a value with spaces");
+  EXPECT_EQ(back.get_u64("n", 0), 42u);
+  EXPECT_DOUBLE_EQ(back.get_f64("x", 0.0), 0.1);
+  EXPECT_TRUE(back.get_bool("flag", false));
+  EXPECT_EQ(back.get_u64("missing", 7), 7u);
+}
+
+TEST(KvDoc, RejectsMalformedInput) {
+  EXPECT_THROW(util::KvDoc::parse(std::string("orphan-key\n")),
+               std::runtime_error);
+  EXPECT_THROW(util::KvDoc::parse(std::string("k 1\nk 2\n")),
+               std::runtime_error);
+  const util::KvDoc doc = util::KvDoc::parse(std::string("k notanumber\n"));
+  EXPECT_THROW(doc.get_u64("k", 0), std::runtime_error);
+  EXPECT_THROW(doc.get_f64("k", 0.0), std::runtime_error);
+  EXPECT_THROW(doc.get_bool("k", false), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace scap::ref

@@ -4,12 +4,21 @@
 
 #include "atpg/context.h"
 #include "core/pattern_sim.h"
+#include "ref/compare.h"
 #include "sim/scap.h"
 #include "test_helpers.h"
 #include "util/rng.h"
 
 namespace scap {
 namespace {
+
+// Shared tolerance policy (rationale in ref/compare.h) instead of ad-hoc
+// epsilons: energies compare relatively (plain-double summation rounding),
+// windows get the float-quantization absolute floor.
+#define EXPECT_CLOSE(a, b, rel, abs)                                     \
+  EXPECT_TRUE(ref::close_enough((a), (b), (rel), (abs)))                 \
+      << #a " = " << ::testing::PrintToString(a) << " vs " #b " = "      \
+      << ::testing::PrintToString(b)
 
 struct ScapRig {
   const SocDesign& soc = test::tiny_soc();
@@ -35,8 +44,10 @@ TEST(Scap, EnergyMatchesManualSum) {
         rig.lib.toggle_energy_pj(rig.soc.parasitics.net_load_pf(t.net));
     (t.rising ? vdd_pj : vss_pj) += e;
   }
-  EXPECT_NEAR(pa.scap.vdd_energy_total_pj, vdd_pj, 1e-9);
-  EXPECT_NEAR(pa.scap.vss_energy_total_pj, vss_pj, 1e-9);
+  EXPECT_CLOSE(pa.scap.vdd_energy_total_pj, vdd_pj, ref::kEnergyRelTol,
+               ref::kDefaultAbsTol);
+  EXPECT_CLOSE(pa.scap.vss_energy_total_pj, vss_pj, ref::kEnergyRelTol,
+               ref::kDefaultAbsTol);
 }
 
 TEST(Scap, BlockEnergiesSumToTotal) {
@@ -44,10 +55,12 @@ TEST(Scap, BlockEnergiesSumToTotal) {
   const PatternAnalysis pa = rig.analyze_random(2);
   double sum = 0.0;
   for (double e : pa.scap.vdd_energy_pj) sum += e;
-  EXPECT_NEAR(sum, pa.scap.vdd_energy_total_pj, 1e-9);
+  EXPECT_CLOSE(sum, pa.scap.vdd_energy_total_pj, ref::kEnergyRelTol,
+               ref::kDefaultAbsTol);
   sum = 0.0;
   for (double e : pa.scap.vss_energy_pj) sum += e;
-  EXPECT_NEAR(sum, pa.scap.vss_energy_total_pj, 1e-9);
+  EXPECT_CLOSE(sum, pa.scap.vss_energy_total_pj, ref::kEnergyRelTol,
+               ref::kDefaultAbsTol);
 }
 
 TEST(Scap, BlockEnergyBoundsChecked) {
@@ -66,7 +79,8 @@ TEST(Scap, CapScapRatioIsPeriodOverStw) {
   const PatternAnalysis pa = rig.analyze_random(3);
   ASSERT_GT(pa.scap.stw_ns, 0.0);
   const double ratio = pa.scap.scap_mw(Rail::kVdd) / pa.scap.cap_mw(Rail::kVdd);
-  EXPECT_NEAR(ratio, pa.scap.period_ns / pa.scap.stw_ns, 1e-9);
+  EXPECT_CLOSE(ratio, pa.scap.period_ns / pa.scap.stw_ns, ref::kEnergyRelTol,
+               ref::kDefaultAbsTol);
 }
 
 TEST(Scap, ScapExceedsCapWhenWindowShorterThanCycle) {
@@ -88,8 +102,10 @@ TEST(Scap, StwIsToggleSpan) {
     first = std::min(first, static_cast<double>(t.t_ns));
     last = std::max(last, static_cast<double>(t.t_ns));
   }
-  // Toggle timestamps are stored as float; compare with float tolerance.
-  EXPECT_NEAR(pa.scap.stw_ns, last - first, 1e-4);
+  // Toggle timestamps are stored as float; the window tolerance carries an
+  // absolute floor scaled to timestamp quantization (see ref/compare.h).
+  EXPECT_CLOSE(pa.scap.stw_ns, last - first, ref::kStwRelTol,
+               ref::kStwAbsTolNs);
   // Clock insertion delay must not inflate the window.
   EXPECT_LT(pa.scap.stw_ns, last);
 }

@@ -1,0 +1,125 @@
+// SDF writer/parser round-trip property and parser error handling.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ref/compare.h"
+#include "sim/sdf.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+// One %.4f-formatted value parses back within half an ulp of the last
+// printed digit.
+constexpr double kQuantTol = 5.1e-5;
+
+DelayModel random_delay_model(const SocDesign& soc, const TechLibrary& lib,
+                              std::uint64_t seed) {
+  DelayModel dm(soc.netlist, lib, soc.parasitics);
+  if (seed != 0) {  // seed 0 keeps the nominal model
+    Rng rng(seed);
+    std::vector<double> droop(soc.netlist.num_gates());
+    for (auto& v : droop) v = rng.uniform(0.0, 0.25);
+    dm.set_droop(lib, droop);
+  }
+  return dm;
+}
+
+class SdfRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SdfRoundTrip, WriteParseWriteIsByteStable) {
+  const SocDesign& soc = test::tiny_soc();
+  const TechLibrary lib = TechLibrary::generic180();
+  const DelayModel dm = random_delay_model(soc, lib, GetParam());
+
+  const std::string text = to_sdf(soc.netlist, dm, "roundtrip");
+  const SdfDocument doc = parse_sdf(text);
+  EXPECT_EQ(doc.version, "3.0");
+  EXPECT_EQ(doc.design, "roundtrip");
+  EXPECT_EQ(doc.divider, "/");
+  EXPECT_EQ(doc.timescale, "1ns");
+  ASSERT_EQ(doc.cells.size(), soc.netlist.num_gates());
+
+  // The property: re-emitting the parsed document reproduces the input byte
+  // for byte (same structure, same %.4f formatting).
+  EXPECT_EQ(to_sdf(doc), text);
+}
+
+TEST_P(SdfRoundTrip, ParsedDelaysMatchModelWithinQuantization) {
+  const SocDesign& soc = test::tiny_soc();
+  const Netlist& nl = soc.netlist;
+  const TechLibrary lib = TechLibrary::generic180();
+  const DelayModel dm = random_delay_model(soc, lib, GetParam());
+
+  const SdfDocument doc = parse_sdf(to_sdf(nl, dm));
+  ASSERT_EQ(doc.cells.size(), nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const SdfCell& cell = doc.cells[g];
+    SCOPED_TRACE(cell.instance);
+    ASSERT_EQ(cell.iopaths.size(), nl.gate_inputs(g).size());
+    for (const SdfIopath& p : cell.iopaths) {
+      EXPECT_TRUE(ref::close_enough(p.rise_ns, dm.rise_ns(g), 0.0, kQuantTol));
+      EXPECT_TRUE(ref::close_enough(p.fall_ns, dm.fall_ns(g), 0.0, kQuantTol));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayModels, SdfRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 17, 2007));
+
+TEST(SdfParse, EmptyDocumentKeepsHeaderFields) {
+  const SdfDocument doc = parse_sdf(std::string(
+      "(DELAYFILE (SDFVERSION \"2.1\") (DESIGN \"d\") (VENDOR \"v\")\n"
+      "  (PROGRAM \"p\") (DIVIDER .) (TIMESCALE 10ps))"));
+  EXPECT_EQ(doc.version, "2.1");
+  EXPECT_EQ(doc.design, "d");
+  EXPECT_EQ(doc.vendor, "v");
+  EXPECT_EQ(doc.program, "p");
+  EXPECT_EQ(doc.divider, ".");
+  EXPECT_EQ(doc.timescale, "10ps");
+  EXPECT_TRUE(doc.cells.empty());
+}
+
+TEST(SdfParse, RejectsMalformedInput) {
+  // Truncated document.
+  EXPECT_THROW(parse_sdf(std::string("(DELAYFILE")), std::runtime_error);
+  // Unterminated string.
+  EXPECT_THROW(parse_sdf(std::string("(DELAYFILE (DESIGN \"oops))")),
+               std::runtime_error);
+  // Unsupported section.
+  EXPECT_THROW(parse_sdf(std::string("(DELAYFILE (VOLTAGE 1.8))")),
+               std::runtime_error);
+  // Trailing tokens after the closing paren.
+  EXPECT_THROW(parse_sdf(std::string("(DELAYFILE) junk")),
+               std::runtime_error);
+}
+
+TEST(SdfParse, RejectsBadDelayTriples) {
+  const auto cell_with = [](const std::string& triples) {
+    return "(DELAYFILE (CELL (CELLTYPE \"NAND2\") (INSTANCE b0_g0)\n"
+           "  (DELAY (ABSOLUTE (IOPATH A Y " +
+           triples + ")))))";
+  };
+  // Two-element triple.
+  EXPECT_THROW(parse_sdf(cell_with("(0.1:0.1) (0.2:0.2:0.2)")),
+               std::runtime_error);
+  // Non-numeric component.
+  EXPECT_THROW(parse_sdf(cell_with("(a:b:c) (0.2:0.2:0.2)")),
+               std::runtime_error);
+  // min:typ:max spread (the writer never emits one).
+  EXPECT_THROW(parse_sdf(cell_with("(0.1:0.2:0.3) (0.2:0.2:0.2)")),
+               std::runtime_error);
+  // Well-formed control.
+  const SdfDocument doc = parse_sdf(cell_with("(0.1:0.1:0.1) (0.2:0.2:0.2)"));
+  ASSERT_EQ(doc.cells.size(), 1u);
+  ASSERT_EQ(doc.cells[0].iopaths.size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.cells[0].iopaths[0].rise_ns, 0.1);
+  EXPECT_DOUBLE_EQ(doc.cells[0].iopaths[0].fall_ns, 0.2);
+}
+
+}  // namespace
+}  // namespace scap
