@@ -107,6 +107,10 @@ inline void print_header(const char* experiment_id, const char* what) {
 /// artifact (schema in README.md "Observability") -- phase wall times, every
 /// obs counter/gauge and per-span timer accumulated during the run. Phases
 /// are marked with phase(); everything before the first mark is "setup".
+/// Each phase boundary captures the registry with snapshot_and_reset, so the
+/// artifact reports both per-phase metric windows (under each phase's
+/// "metrics" key) and their merged cumulative totals at top level -- a
+/// multi-phase bench's rt.* values no longer bleed across phases.
 class BenchRun {
  public:
   BenchRun(const char* slug, const char* experiment_id, const char* what) {
@@ -131,8 +135,7 @@ class BenchRun {
   ~BenchRun() {
     close_phase();
     const std::string path = obs::bench_artifact_path(report_.name);
-    const std::string body =
-        obs::to_json(report_, obs::Registry::global());
+    const std::string body = obs::to_json(report_);
     if (obs::write_file(path, body)) {
       std::printf("\nmetrics: wrote %s\n", path.c_str());
     } else {
@@ -150,7 +153,11 @@ class BenchRun {
     const double ms =
         std::chrono::duration<double, std::milli>(Clock::now() - phase_start_)
             .count();
-    report_.phases.push_back(obs::PhaseTime{phase_name_, ms});
+    obs::PhaseTime pt;
+    pt.name = phase_name_;
+    pt.wall_ms = ms;
+    pt.metrics = obs::Registry::global().snapshot_and_reset();
+    report_.phases.push_back(std::move(pt));
   }
 
   obs::RunReport report_;

@@ -10,6 +10,7 @@
 
 #include "atpg/fault_sim.h"
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "power/dynamic_ir.h"
 #include "rt/thread_pool.h"
 #include "sim/logic_sim.h"
@@ -192,10 +193,21 @@ void run_thread_scaling_sweep() {
     for (std::size_t i = 0; i < std::size(kThreads); ++i) {
       rt::ThreadPool::set_global_concurrency(kThreads[i]);
       k.body();  // warm-up: fault caches, page in buffers
+      if (obs::prof_enabled()) obs::prof_reset();  // profile the timed run only
       ms[i] = wall_ms(k.body);
       obs::observe("rt.sweep." + std::string(k.name) + ".t" +
                        std::to_string(kThreads[i]) + "_ms",
                    ms[i]);
+      if (obs::prof_enabled()) {
+        const obs::PoolProfile prof = obs::collect_pool_profile();
+        obs::export_pool_profile(prof, obs::Registry::global(),
+                                 "rt.prof." + std::string(k.name) + ".t" +
+                                     std::to_string(kThreads[i]));
+        if (kThreads[i] == 4 && !prof.empty()) {
+          std::printf("\nScheduler profile: %s at t=4\n%s", k.name,
+                      obs::format_pool_report(prof).c_str());
+        }
+      }
     }
     const double speedup4 = ms[2] > 0.0 ? ms[0] / ms[2] : 0.0;
     obs::observe("rt.sweep." + std::string(k.name) + ".t4_speedup", speedup4);

@@ -1,0 +1,197 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace scap::obs::bench {
+
+namespace {
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+double number_or(const json::Value* v, double fallback) {
+  return (v && v->kind == json::Value::Kind::kNumber) ? v->number : fallback;
+}
+
+/// "gauges.<name>.mean" and friends classify by the underlying metric name.
+std::string_view strip_aggregate(std::string_view name) {
+  if (ends_with(name, ".mean")) name.remove_suffix(5);
+  return name;
+}
+
+}  // namespace
+
+Direction classify_metric(std::string_view name) {
+  const std::string_view base = strip_aggregate(name);
+  if (ends_with(base, "_speedup") || ends_with(base, "_efficiency") ||
+      ends_with(base, "per_sec")) {
+    return Direction::kHigherBetter;
+  }
+  if (ends_with(base, "_ms")) return Direction::kLowerBetter;
+  return Direction::kInfo;
+}
+
+std::vector<MetricRow> flatten_bench(const json::Value& bench) {
+  std::vector<MetricRow> rows;
+  auto push = [&rows](std::string name, double value) {
+    MetricRow r;
+    r.direction = classify_metric(name);
+    r.name = std::move(name);
+    r.value = value;
+    rows.push_back(std::move(r));
+  };
+
+  if (const json::Value* counters = bench.find("counters")) {
+    for (const auto& [k, v] : counters->object) {
+      if (v.kind == json::Value::Kind::kNumber) {
+        push("counters." + k, v.number);
+      }
+    }
+  }
+  if (const json::Value* gauges = bench.find("gauges")) {
+    for (const auto& [k, v] : gauges->object) {
+      if (const json::Value* mean = v.find("mean")) {
+        push("gauges." + k + ".mean", number_or(mean, 0.0));
+      }
+    }
+  }
+  if (const json::Value* timers = bench.find("timers")) {
+    for (const auto& [k, v] : timers->object) {
+      if (const json::Value* total = v.find("total_ms")) {
+        push("timers." + k + ".total_ms", number_or(total, 0.0));
+      }
+    }
+  }
+  if (const json::Value* phases = bench.find("phases")) {
+    for (const json::Value& p : phases->array) {
+      const json::Value* name = p.find("name");
+      const json::Value* wall = p.find("wall_ms");
+      if (name && wall && name->kind == json::Value::Kind::kString) {
+        push("phases." + name->string + ".wall_ms", number_or(wall, 0.0));
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return rows;
+}
+
+DiffResult compare(const json::Value& baseline, const json::Value& current,
+                   double rel_tolerance) {
+  const std::vector<MetricRow> base = flatten_bench(baseline);
+  const std::vector<MetricRow> cur = flatten_bench(current);
+  DiffResult out;
+
+  std::size_t i = 0, j = 0;
+  while (i < base.size() || j < cur.size()) {
+    if (j >= cur.size() || (i < base.size() && base[i].name < cur[j].name)) {
+      out.removed.push_back(base[i++].name);
+      continue;
+    }
+    if (i >= base.size() || cur[j].name < base[i].name) {
+      out.added.push_back(cur[j++].name);
+      continue;
+    }
+    Delta d;
+    d.name = base[i].name;
+    d.baseline = base[i].value;
+    d.current = cur[j].value;
+    d.direction = base[i].direction;
+    if (d.baseline != 0.0 && std::isfinite(d.baseline)) {
+      d.rel_change = (d.current - d.baseline) / std::fabs(d.baseline);
+      if (d.direction == Direction::kLowerBetter) {
+        d.regression = d.rel_change > rel_tolerance;
+      } else if (d.direction == Direction::kHigherBetter) {
+        d.regression = d.rel_change < -rel_tolerance;
+      }
+    }
+    if (d.regression) ++out.regressions;
+    out.rows.push_back(std::move(d));
+    ++i;
+    ++j;
+  }
+  return out;
+}
+
+std::string format_diff(const DiffResult& diff, double rel_tolerance) {
+  std::ostringstream os;
+  os << "bench_diff: " << diff.rows.size() << " shared metrics, "
+     << diff.added.size() << " added, " << diff.removed.size() << " removed, "
+     << "tolerance " << static_cast<int>(rel_tolerance * 100.0 + 0.5)
+     << "%\n";
+
+  // Regressions first, then the largest directional movers; informational
+  // metrics only appear when they moved a lot (context, never a failure).
+  std::vector<const Delta*> shown;
+  for (const Delta& d : diff.rows) {
+    const bool directional = d.direction != Direction::kInfo;
+    if (d.regression || (directional && std::fabs(d.rel_change) > rel_tolerance) ||
+        (!directional && std::fabs(d.rel_change) > 4.0 * rel_tolerance &&
+         d.baseline != 0.0)) {
+      shown.push_back(&d);
+    }
+  }
+  std::sort(shown.begin(), shown.end(), [](const Delta* a, const Delta* b) {
+    if (a->regression != b->regression) return a->regression;
+    return std::fabs(a->rel_change) > std::fabs(b->rel_change);
+  });
+
+  if (shown.empty()) {
+    os << "all metrics within tolerance\n";
+  } else {
+    TextTable t({"metric", "baseline", "current", "change", "status"});
+    for (const Delta* d : shown) {
+      const char* status = d->regression ? "REGRESSION"
+                           : d->direction == Direction::kInfo ? "info"
+                                                              : "ok";
+      char pct[32];
+      std::snprintf(pct, sizeof pct, "%+.1f%%", d->rel_change * 100.0);
+      t.add_row({d->name, TextTable::num(d->baseline),
+                 TextTable::num(d->current), pct, status});
+    }
+    os << t.render();
+  }
+  for (const std::string& name : diff.added) os << "added:   " << name << "\n";
+  for (const std::string& name : diff.removed) os << "removed: " << name << "\n";
+  if (diff.regressions) {
+    os << diff.regressions << " regression(s) beyond tolerance\n";
+  }
+  return os.str();
+}
+
+std::string trajectory_line(std::string_view bench_name,
+                            std::string_view label, std::int64_t unix_time,
+                            const std::vector<MetricRow>& rows) {
+  json::Value root;
+  root.kind = json::Value::Kind::kObject;
+  auto add = [&root](std::string key, json::Value v) {
+    root.object.emplace_back(std::move(key), std::move(v));
+  };
+  json::Value s;
+  s.kind = json::Value::Kind::kString;
+  s.string = std::string(bench_name);
+  add("bench", s);
+  s.string = std::string(label);
+  add("label", s);
+  json::Value n;
+  n.kind = json::Value::Kind::kNumber;
+  n.number = static_cast<double>(unix_time);
+  add("unix_time", n);
+  json::Value metrics;
+  metrics.kind = json::Value::Kind::kObject;
+  for (const MetricRow& r : rows) {
+    n.number = r.value;
+    metrics.object.emplace_back(r.name, n);
+  }
+  add("metrics", std::move(metrics));
+  return root.dump();
+}
+
+}  // namespace scap::obs::bench

@@ -1,0 +1,81 @@
+// Comparison engine behind tools/bench_diff: flatten BENCH_*.json artifacts
+// (obs/report.h schema) into named metric rows, classify each metric's
+// improvement direction from its name, and diff a current run against a
+// committed baseline with relative tolerance. A run also appends one JSONL
+// row to bench/history/trajectory.jsonl so the repo accumulates a
+// performance trajectory across PRs.
+//
+// Direction rules (by suffix of the flattened name, after stripping the
+// aggregate suffix ".mean"):
+//   *_speedup, *_efficiency, *per_sec            -> higher is better
+//   *_ms (covers wall_ms, total_ms, t4_ms, ...)  -> lower is better
+//   anything else                                -> informational only
+// Informational metrics are tracked in the trajectory but can never fail a
+// diff -- counters like rt.tasks move legitimately whenever code changes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace scap::obs::bench {
+
+enum class Direction { kHigherBetter, kLowerBetter, kInfo };
+
+Direction classify_metric(std::string_view name);
+
+/// One flattened metric from a BENCH artifact.
+struct MetricRow {
+  std::string name;  ///< e.g. "gauges.rt.sweep.faultsim_grade.t4_speedup.mean"
+  double value = 0.0;
+  Direction direction = Direction::kInfo;
+};
+
+/// Flatten one parsed BENCH_*.json into sorted rows:
+///   counters.<name>            counter value
+///   gauges.<name>.mean         gauge distribution mean
+///   timers.<name>.total_ms     span timer total
+///   phases.<name>.wall_ms      phase wall time
+/// Unknown sections are ignored, so the flattener tolerates schema growth.
+std::vector<MetricRow> flatten_bench(const json::Value& bench);
+
+/// One compared metric (present in both baseline and current).
+struct Delta {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  ///< (current - baseline) / |baseline|; 0 if base 0
+  Direction direction = Direction::kInfo;
+  bool regression = false;
+};
+
+struct DiffResult {
+  std::vector<Delta> rows;           ///< every metric present in both runs
+  std::vector<std::string> added;    ///< in current only
+  std::vector<std::string> removed;  ///< in baseline only
+  std::size_t regressions = 0;
+
+  bool ok() const { return regressions == 0; }
+};
+
+/// Diff `current` against `baseline`. A directional metric regresses when it
+/// moves the wrong way by more than `rel_tolerance` (fraction, e.g. 0.1 =
+/// 10%). Metrics whose baseline is 0 are reported but never regress (no
+/// meaningful relative scale).
+DiffResult compare(const json::Value& baseline, const json::Value& current,
+                   double rel_tolerance);
+
+/// Human-readable table of the diff (regressions first, then the largest
+/// movers; steady informational metrics are summarized, not listed).
+std::string format_diff(const DiffResult& diff, double rel_tolerance);
+
+/// One compact JSONL trajectory row:
+///   {"bench":...,"label":...,"unix_time":...,"metrics":{name:value,...}}
+std::string trajectory_line(std::string_view bench_name,
+                            std::string_view label, std::int64_t unix_time,
+                            const std::vector<MetricRow>& rows);
+
+}  // namespace scap::obs::bench

@@ -9,6 +9,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,6 +17,25 @@
 #include <vector>
 
 namespace scap::obs::json {
+
+/// Append `x` as the shortest decimal literal that parses back (strtod) to
+/// exactly the same double. Tries 15/16/17 significant digits in order; 17 is
+/// always sufficient for IEEE binary64, so every finite value round-trips
+/// bit-exactly through dump() -> parse() (trajectory rows and BENCH diffs must
+/// not drift through re-serialization cycles). Non-finite values, which JSON
+/// cannot represent, degrade to 0.
+inline void append_number(std::string& out, double x) {
+  if (!(x == x) || x > 1.7976931348623157e308 || x < -1.7976931348623157e308) {
+    out += '0';  // NaN / +-inf
+    return;
+  }
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, x);
+    if (std::strtod(buf, nullptr) == x) break;
+  }
+  out += buf;
+}
 
 struct Value {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
@@ -59,7 +79,8 @@ struct Value {
     return false;
   }
 
-  /// Re-serialize (canonical escapes; numbers via %.17g round-trip exactly).
+  /// Re-serialize (canonical escapes; numbers via append_number round-trip
+  /// bit-exactly).
   std::string dump() const {
     std::string out;
     dump_to(out);
@@ -97,12 +118,9 @@ struct Value {
       case Kind::kBool:
         out += boolean ? "true" : "false";
         break;
-      case Kind::kNumber: {
-        char buf[40];
-        std::snprintf(buf, sizeof buf, "%.17g", number);
-        out += buf;
+      case Kind::kNumber:
+        append_number(out, number);
         break;
-      }
       case Kind::kString:
         dump_string(string, out);
         break;

@@ -34,6 +34,10 @@ class Counter {
     return v_.load(std::memory_order_relaxed);
   }
   void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+  /// Capture-and-zero in one atomic step (no adds lost around a snapshot).
+  std::uint64_t take() noexcept {
+    return v_.exchange(0, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -45,6 +49,12 @@ class Gauge {
   void observe(double x) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.add(x);
+  }
+  /// Fold a locally accumulated distribution in (hot loops / obs::prof
+  /// aggregate off-registry and flush once).
+  void observe_stats(const RunningStats& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.merge(s);
   }
   RunningStats snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -103,10 +113,35 @@ class Registry {
     double total_ms = 0.0;
   };
 
+  /// Value snapshot of every non-empty entry (zero counters and zero-count
+  /// gauges/timers are omitted). Used for phase-scoped metrics: a multi-phase
+  /// bench calls snapshot_and_reset() at each phase boundary so per-phase
+  /// `rt.*` values don't bleed into each other, then merges the per-phase
+  /// snapshots for the cumulative report (see bench/bench_common.h).
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, RunningStats>> gauges;
+    std::vector<TimerSnap> timers;
+
+    bool empty() const {
+      return counters.empty() && gauges.empty() && timers.empty();
+    }
+    /// Fold `other` in, as if both windows had been observed into one
+    /// registry: counters add, gauge/timer distributions merge.
+    void merge(const Snapshot& other);
+  };
+
   /// Sorted-by-name snapshots.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
   std::vector<std::pair<std::string, RunningStats>> gauges() const;
   std::vector<TimerSnap> timers() const;
+
+  /// Non-empty entries only; does not modify the registry.
+  Snapshot snapshot() const;
+  /// Atomically-per-entry capture + zero: the returned snapshot holds exactly
+  /// the values observed since the previous reset, and the registry starts
+  /// the next phase from zero. Registered references stay valid.
+  Snapshot snapshot_and_reset();
 
   /// Zero every value; registered references stay valid.
   void reset();

@@ -17,10 +17,14 @@
 
 namespace scap::obs {
 
-/// Wall-time of one top-level phase of a run (bench setup / table / kernels).
+/// Wall-time of one top-level phase of a run (bench setup / table / kernels),
+/// plus the registry values observed during that phase only (captured with
+/// Registry::snapshot_and_reset at the phase boundary; empty when the runner
+/// doesn't scope metrics per phase).
 struct PhaseTime {
   std::string name;
   double wall_ms = 0.0;
+  Registry::Snapshot metrics;
 };
 
 /// Identity + phase breakdown of one instrumented run.
@@ -35,6 +39,11 @@ std::string json_escape(std::string_view s);
 
 /// Serialize the run report plus a snapshot of `reg` as JSON.
 std::string to_json(const RunReport& rep, const Registry& reg);
+/// Serialize a run report whose phases carry their own metric snapshots:
+/// top-level counters/gauges/timers are the merge of every phase (same shape
+/// as the legacy overload), and each phase object additionally embeds its own
+/// "metrics" section when non-empty.
+std::string to_json(const RunReport& rep);
 /// Counters/gauges/timers as CSV (`kind,name,count,value,mean,min,max`).
 std::string to_csv(const Registry& reg);
 

@@ -127,6 +127,9 @@ ObsConfig config_from_env() {
   if (const char* env = std::getenv("SCAP_METRICS")) {
     cfg.metrics = std::strcmp(env, "0") != 0 && env[0] != '\0';
   }
+  if (const char* env = std::getenv("SCAP_PROF")) {
+    cfg.prof = std::strcmp(env, "0") != 0 && env[0] != '\0';
+  }
   return cfg;
 }
 
@@ -134,7 +137,8 @@ void configure(const ObsConfig& cfg) {
   std::lock_guard<std::mutex> lock(g_config_mu);
   g_config = cfg;
   g_obs_flags.store((cfg.trace ? kFlagTrace : 0u) |
-                        (cfg.metrics ? kFlagMetrics : 0u),
+                        (cfg.metrics ? kFlagMetrics : 0u) |
+                        (cfg.prof ? kFlagProf : 0u),
                     std::memory_order_relaxed);
 }
 
@@ -171,6 +175,12 @@ std::vector<TraceEvent> trace_snapshot() {
                      return a.ts_us < b.ts_us;
                    });
   return out;
+}
+
+void trace_inject(const std::vector<TraceEvent>& events) {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.retired.insert(s.retired.end(), events.begin(), events.end());
 }
 
 void trace_clear() {

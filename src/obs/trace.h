@@ -13,6 +13,7 @@
 //   SCAP_TRACE=1        enable tracing, dump scap_trace.json at process exit
 //   SCAP_TRACE=<path>   enable tracing, dump to <path> at process exit
 //   SCAP_METRICS=0      disable counters/gauges/timers (default: enabled)
+//   SCAP_PROF=1         enable the scheduler profiler (obs/prof.h; default off)
 #pragma once
 
 #include <atomic>
@@ -27,6 +28,7 @@ namespace scap::obs {
 struct ObsConfig {
   bool trace = false;    ///< record SCAP_TRACE_SCOPE begin/end events
   bool metrics = true;   ///< record counters / gauges / span timers
+  bool prof = false;     ///< record scheduler profiler events (obs/prof.h)
   bool dump_trace_at_exit = false;
   std::string trace_path = "scap_trace.json";
 };
@@ -42,6 +44,7 @@ ObsConfig config();
 // load. Do not touch directly; use configure().
 inline constexpr unsigned kFlagTrace = 1u;
 inline constexpr unsigned kFlagMetrics = 2u;
+inline constexpr unsigned kFlagProf = 4u;
 extern std::atomic<unsigned> g_obs_flags;
 
 inline bool trace_enabled() noexcept {
@@ -49,6 +52,9 @@ inline bool trace_enabled() noexcept {
 }
 inline bool metrics_enabled() noexcept {
   return (g_obs_flags.load(std::memory_order_relaxed) & kFlagMetrics) != 0;
+}
+inline bool prof_enabled() noexcept {
+  return (g_obs_flags.load(std::memory_order_relaxed) & kFlagProf) != 0;
 }
 inline bool obs_active() noexcept {
   return g_obs_flags.load(std::memory_order_relaxed) != 0;
@@ -73,6 +79,14 @@ void trace_end(const char* name);
 
 /// All buffered events from every thread (live and exited), time-ordered.
 std::vector<TraceEvent> trace_snapshot();
+/// Append externally synthesized events (e.g. profiler lanes, obs/prof.h) to
+/// the retired buffer so they appear in snapshots and Chrome dumps. Names must
+/// have static storage duration; tids at/above kProfLaneBase render as named
+/// "rt worker" lanes in the Chrome export.
+void trace_inject(const std::vector<TraceEvent>& events);
+/// Synthetic-tid base for injected scheduler-profiler lanes (one Chrome lane
+/// per pool worker / submitting caller, distinct from real thread tids).
+inline constexpr std::uint32_t kProfLaneBase = 1u << 20;
 void trace_clear();
 /// Events dropped because a per-thread buffer hit its cap.
 std::uint64_t trace_dropped();

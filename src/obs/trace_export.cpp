@@ -1,6 +1,7 @@
 // Chrome `chrome://tracing` / Perfetto JSON export of the trace buffers.
 #include <fstream>
 #include <ostream>
+#include <set>
 
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -11,6 +12,19 @@ void write_chrome_trace(std::ostream& os,
                         const std::vector<TraceEvent>& events) {
   os << "{\"traceEvents\":[";
   bool first = true;
+  // Synthetic scheduler-profiler lanes (tid >= kProfLaneBase, injected via
+  // trace_inject) get thread_name metadata so the flame view labels each pool
+  // worker / submitting caller instead of showing a bare huge tid.
+  std::set<std::uint32_t> prof_lanes;
+  for (const TraceEvent& e : events) {
+    if (e.tid >= kProfLaneBase) prof_lanes.insert(e.tid);
+  }
+  for (std::uint32_t lane : prof_lanes) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+       << ",\"args\":{\"name\":\"rt lane " << (lane - kProfLaneBase) << "\"}}";
+  }
   for (const TraceEvent& e : events) {
     if (!first) os << ",";
     first = false;

@@ -58,6 +58,11 @@ inline void parallel_for(std::size_t n,
   const std::size_t grain =
       opt.grain ? opt.grain : std::max<std::size_t>(1, (n + threads * 4 - 1) / (threads * 4));
   const std::size_t n_chunks = (n + grain - 1) / grain;
+  if (obs::prof_enabled() && n_chunks >= 2) {
+    obs::caller_prof_ring().record(
+        obs::ProfKind::kGrain,
+        static_cast<std::uint32_t>(std::min<std::size_t>(grain, 0xFFFFu)));
+  }
   pool->run_chunked(n_chunks, [&](std::size_t c) {
     const std::size_t b = c * grain;
     body(b, std::min(n, b + grain));
@@ -74,6 +79,12 @@ T parallel_transform_reduce(std::size_t n, std::size_t grain, T init,
   if (n == 0) return init;
   grain = std::max<std::size_t>(1, grain);
   const std::size_t n_chunks = (n + grain - 1) / grain;
+  if (obs::prof_enabled() && n_chunks >= 2 &&
+      !ThreadPool::on_worker_thread()) {
+    obs::caller_prof_ring().record(
+        obs::ProfKind::kGrain,
+        static_cast<std::uint32_t>(std::min<std::size_t>(grain, 0xFFFFu)));
+  }
   std::vector<T> partials(n_chunks, init);
   const std::function<void(std::size_t)> chunk_body = [&](std::size_t c) {
     const std::size_t b = c * grain;

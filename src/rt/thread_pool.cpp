@@ -1,9 +1,11 @@
 #include "rt/thread_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "obs/prof.h"
 #include "obs/trace.h"
 
 namespace scap::rt {
@@ -60,6 +62,7 @@ ThreadPool::ThreadPool(std::size_t concurrency)
   for (std::size_t i = 0; i + 1 < concurrency_; ++i) {
     auto w = std::make_unique<Worker>();
     w->index = i;
+    w->prof.set_lane(static_cast<std::uint32_t>(i));
     workers_.push_back(std::move(w));
   }
   for (auto& w : workers_) {
@@ -96,7 +99,7 @@ ThreadPool::Task* ThreadPool::pop_injector() {
   return t;
 }
 
-ThreadPool::Task* ThreadPool::steal_any(const Worker* self) {
+ThreadPool::Task* ThreadPool::steal_any(Worker* self) {
   const std::size_t n = workers_.size();
   if (n == 0) return nullptr;
   const std::size_t start = self ? self->index + 1 : 0;
@@ -112,6 +115,12 @@ ThreadPool::Task* ThreadPool::steal_any(const Worker* self) {
     steal_attempts_ctr_->add(attempts);
     if (t) steals_ctr_->add(1);
   }
+  if (obs::prof_enabled() && attempts) {
+    obs::ProfRing& ring = self ? self->prof : obs::caller_prof_ring();
+    ring.record(obs::ProfKind::kStealAttempt,
+                static_cast<std::uint32_t>(attempts));
+    if (t) ring.record(obs::ProfKind::kStealSuccess, 1);
+  }
   return t;
 }
 
@@ -119,6 +128,11 @@ void ThreadPool::execute(Task* task, Worker* self) {
   Job* job = task->job;
   std::uint32_t begin = task->begin;
   std::uint32_t end = task->end;
+  const bool prof_on = obs::prof_enabled();
+  if (prof_on) {
+    (self ? self->prof : obs::caller_prof_ring())
+        .record(obs::ProfKind::kTaskBegin, end - begin);
+  }
   // Split in half until a single chunk remains; spare halves go to the own
   // deque (stealable, oldest-first == coarsest-first) or, from the
   // submitting thread, to the shared injector.
@@ -134,6 +148,12 @@ void ThreadPool::execute(Task* task, Worker* self) {
   }
   (*job->body)(begin);
   if (obs::metrics_enabled()) tasks_ctr_->add(1);
+  // TaskEnd lands before the drain counter drops: once `remaining` hits zero
+  // the submitter may collect a profile, which must already see this task.
+  if (prof_on) {
+    (self ? self->prof : obs::caller_prof_ring())
+        .record(obs::ProfKind::kTaskEnd);
+  }
   job->remaining.fetch_sub(1, std::memory_order_acq_rel);
 }
 
@@ -155,11 +175,13 @@ void ThreadPool::worker_main(Worker* self) {
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);
+    self->prof.record(obs::ProfKind::kPark);
     cv_.wait(lock, [&] {
       return stop_.load(std::memory_order_relaxed) ||
              active_jobs_.load(std::memory_order_relaxed) > 0 ||
              !injector_.empty();
     });
+    self->prof.record(obs::ProfKind::kUnpark);
     if (stop_.load(std::memory_order_relaxed)) break;
   }
   tl_on_worker = false;
@@ -176,6 +198,12 @@ void ThreadPool::run_chunked(std::size_t n_chunks,
     return;
   }
   SCAP_TRACE_SCOPE("rt.job");
+  const bool prof_on = obs::prof_enabled();
+  if (prof_on) {
+    obs::caller_prof_ring().record(obs::ProfKind::kJobBegin,
+                                   static_cast<std::uint32_t>(std::min<
+                                       std::size_t>(n_chunks, 0xFFFFu)));
+  }
   if (obs::metrics_enabled()) {
     jobs_ctr_->add(1);
     chunks_ctr_->add(n_chunks);
@@ -209,6 +237,7 @@ void ThreadPool::run_chunked(std::size_t n_chunks,
     }
   }
   active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+  if (prof_on) obs::caller_prof_ring().record(obs::ProfKind::kJobEnd);
 }
 
 std::shared_ptr<ThreadPool> ThreadPool::global() {

@@ -19,7 +19,9 @@
 //
 // Observability: counters rt.jobs / rt.chunks / rt.tasks / rt.steals /
 // rt.steal_attempts, gauge rt.queue_depth (sampled at submit), span timer
-// "rt.job" around every parallel region.
+// "rt.job" around every parallel region. Under SCAP_PROF=1 every worker and
+// submitting caller additionally records task/steal/park/job events into a
+// per-lane ring (obs/prof.h) for the scheduler-level profile.
 #pragma once
 
 #include <atomic>
@@ -31,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/prof.h"
 #include "rt/deque.h"
 
 namespace scap::obs {
@@ -83,11 +86,12 @@ class ThreadPool {
     WorkStealingDeque<Task*> deque;
     std::size_t index = 0;
     std::thread thread;
+    obs::ProfRing prof{obs::ProfRing::Owner::kWorker};
   };
 
   void worker_main(Worker* self);
   void execute(Task* task, Worker* self);
-  Task* steal_any(const Worker* self);
+  Task* steal_any(Worker* self);
   Task* pop_injector();
   void inject(Task* task);
 

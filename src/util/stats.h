@@ -21,6 +21,24 @@ class RunningStats {
     max_ = n_ == 1 ? x : std::max(max_, x);
   }
 
+  /// Fold another accumulator in (Chan et al. parallel-variance combine), as
+  /// if every observation of `other` had been add()ed here.
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+  }
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return n_ ? mean_ : 0.0; }
   double min() const noexcept { return n_ ? min_ : 0.0; }

@@ -1,0 +1,198 @@
+// Tests for the bench-trajectory comparison engine (obs/bench_compare.h):
+// metric flattening, direction classification, regression detection at a
+// tolerance, and the JSONL trajectory row format.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+#include "obs/json.h"
+
+namespace scap::obs::bench {
+namespace {
+
+const char* kBaseline = R"({
+  "name": "kernels",
+  "info": {"scale": "0.040"},
+  "phases": [
+    {"name": "setup", "wall_ms": 100.0},
+    {"name": "thread_scaling", "wall_ms": 900.0}
+  ],
+  "counters": {"rt.tasks": 5000, "rt.steals": 40},
+  "gauges": {
+    "rt.sweep.faultsim_grade.t4_ms": {"count":1,"mean":17.0,"min":17.0,"max":17.0,"stddev":0},
+    "rt.sweep.faultsim_grade.t4_speedup": {"count":1,"mean":0.95,"min":0.95,"max":0.95,"stddev":0},
+    "rt.sweep.faultsim_grade.t4_efficiency": {"count":1,"mean":0.24,"min":0.24,"max":0.24,"stddev":0},
+    "eventsim.patterns_per_sec": {"count":1,"mean":2000.0,"min":2000.0,"max":2000.0,"stddev":0}
+  },
+  "timers": {
+    "rt.job": {"count":50,"total_ms":400.0,"mean_ms":8.0,"min_ms":1.0,"max_ms":20.0}
+  }
+})";
+
+json::Value parse_or_die(const std::string& text) {
+  std::optional<json::Value> v = json::parse(text);
+  EXPECT_TRUE(v.has_value());
+  return *v;
+}
+
+/// Baseline with one gauge mean replaced.
+std::string with_gauge_mean(const std::string& name, double mean) {
+  json::Value v = parse_or_die(kBaseline);
+  for (auto& [k, section] : v.object) {
+    if (k != "gauges") continue;
+    for (auto& [gname, g] : section.object) {
+      if (gname != name) continue;
+      for (auto& [field, fv] : g.object) {
+        if (field == "mean") fv.number = mean;
+      }
+    }
+  }
+  return v.dump();
+}
+
+TEST(BenchCompare, ClassifiesDirectionsFromNames) {
+  EXPECT_EQ(classify_metric("gauges.rt.sweep.faultsim_grade.t4_speedup.mean"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("gauges.rt.sweep.scap_fanout.t4_efficiency.mean"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("gauges.eventsim.patterns_per_sec.mean"),
+            Direction::kHigherBetter);
+  EXPECT_EQ(classify_metric("gauges.rt.sweep.faultsim_grade.t4_ms.mean"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("timers.rt.job.total_ms"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("phases.thread_scaling.wall_ms"),
+            Direction::kLowerBetter);
+  EXPECT_EQ(classify_metric("counters.rt.tasks"), Direction::kInfo);
+  EXPECT_EQ(classify_metric("gauges.rt.prof.imbalance.mean"),
+            Direction::kInfo);
+}
+
+TEST(BenchCompare, FlattensEverySectionSorted) {
+  const std::vector<MetricRow> rows = flatten_bench(parse_or_die(kBaseline));
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].name, rows[i].name);
+  }
+  auto value_of = [&](const std::string& name) -> double {
+    for (const MetricRow& r : rows) {
+      if (r.name == name) return r.value;
+    }
+    ADD_FAILURE() << "missing row " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("counters.rt.tasks"), 5000.0);
+  EXPECT_EQ(value_of("gauges.rt.sweep.faultsim_grade.t4_ms.mean"), 17.0);
+  EXPECT_EQ(value_of("timers.rt.job.total_ms"), 400.0);
+  EXPECT_EQ(value_of("phases.setup.wall_ms"), 100.0);
+}
+
+TEST(BenchCompare, IdenticalRunsProduceNoRegressions) {
+  const json::Value v = parse_or_die(kBaseline);
+  const DiffResult diff = compare(v, v, 0.1);
+  EXPECT_TRUE(diff.ok());
+  EXPECT_EQ(diff.regressions, 0u);
+  EXPECT_TRUE(diff.added.empty());
+  EXPECT_TRUE(diff.removed.empty());
+  EXPECT_FALSE(diff.rows.empty());
+}
+
+TEST(BenchCompare, DetectsTwentyPercentTimingRegression) {
+  const json::Value base = parse_or_die(kBaseline);
+  // 17.0 ms -> 20.4 ms is +20%: beyond a 10% tolerance.
+  const json::Value cur = parse_or_die(
+      with_gauge_mean("rt.sweep.faultsim_grade.t4_ms", 20.4));
+  const DiffResult diff = compare(base, cur, 0.1);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.regressions, 1u);
+  bool found = false;
+  for (const Delta& d : diff.rows) {
+    if (d.name == "gauges.rt.sweep.faultsim_grade.t4_ms.mean") {
+      found = true;
+      EXPECT_TRUE(d.regression);
+      EXPECT_NEAR(d.rel_change, 0.2, 1e-9);
+    } else {
+      EXPECT_FALSE(d.regression) << d.name;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The report names the offender.
+  const std::string report = format_diff(diff, 0.1);
+  EXPECT_NE(report.find("rt.sweep.faultsim_grade.t4_ms"), std::string::npos);
+  EXPECT_NE(report.find("REGRESSION"), std::string::npos);
+}
+
+TEST(BenchCompare, DetectsSpeedupDrop) {
+  const json::Value base = parse_or_die(kBaseline);
+  // Higher-is-better metric falling 0.95 -> 0.70 (-26%) must regress.
+  const json::Value cur = parse_or_die(
+      with_gauge_mean("rt.sweep.faultsim_grade.t4_speedup", 0.70));
+  const DiffResult diff = compare(base, cur, 0.1);
+  EXPECT_EQ(diff.regressions, 1u);
+}
+
+TEST(BenchCompare, SmallDriftStaysWithinTolerance) {
+  const json::Value base = parse_or_die(kBaseline);
+  // +5% on a timing metric is inside a 10% tolerance.
+  const json::Value cur = parse_or_die(
+      with_gauge_mean("rt.sweep.faultsim_grade.t4_ms", 17.85));
+  EXPECT_TRUE(compare(base, cur, 0.1).ok());
+}
+
+TEST(BenchCompare, ImprovementIsNeverARegression) {
+  const json::Value base = parse_or_die(kBaseline);
+  const json::Value cur = parse_or_die(
+      with_gauge_mean("rt.sweep.faultsim_grade.t4_ms", 8.0));
+  EXPECT_TRUE(compare(base, cur, 0.1).ok());
+}
+
+TEST(BenchCompare, InfoMetricsNeverFailTheDiff) {
+  const json::Value base = parse_or_die(kBaseline);
+  json::Value cur = parse_or_die(kBaseline);
+  for (auto& [k, section] : cur.object) {
+    if (k != "counters") continue;
+    for (auto& [cname, c] : section.object) {
+      if (cname == "rt.tasks") c.number = 50000.0;  // 10x: info only
+    }
+  }
+  EXPECT_TRUE(compare(base, cur, 0.1).ok());
+}
+
+TEST(BenchCompare, AddedAndRemovedMetricsAreReportedNotFatal) {
+  const json::Value base = parse_or_die(kBaseline);
+  json::Value cur = parse_or_die(kBaseline);
+  for (auto& [k, section] : cur.object) {
+    if (k != "counters") continue;
+    section.object.erase(section.object.begin());  // drop one counter
+    json::Value n;
+    n.kind = json::Value::Kind::kNumber;
+    n.number = 3.0;
+    section.object.emplace_back("rt.prof.jobs", n);
+  }
+  const DiffResult diff = compare(base, cur, 0.1);
+  EXPECT_TRUE(diff.ok());
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0], "counters.rt.prof.jobs");
+  ASSERT_EQ(diff.removed.size(), 1u);
+}
+
+TEST(BenchCompare, TrajectoryLineRoundTrips) {
+  const std::vector<MetricRow> rows = flatten_bench(parse_or_die(kBaseline));
+  const std::string line = trajectory_line("kernels", "abc1234", 1754500000,
+                                           rows);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one JSONL row
+  const json::Value v = parse_or_die(line);
+  EXPECT_EQ(v.find("bench")->string, "kernels");
+  EXPECT_EQ(v.find("label")->string, "abc1234");
+  EXPECT_EQ(v.find("unix_time")->number, 1754500000.0);
+  const json::Value* metrics = v.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->object.size(), rows.size());
+  EXPECT_EQ(metrics->find("timers.rt.job.total_ms")->number, 400.0);
+}
+
+}  // namespace
+}  // namespace scap::obs::bench

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -230,6 +232,139 @@ TEST_F(ObsTest, JsonEscapeControlCharactersRoundTrip) {
   const auto doc = json::parse(text);
   ASSERT_TRUE(doc.has_value());
   EXPECT_EQ(doc->find("name")->string, rep.name);
+}
+
+TEST(JsonNumberTest, AwkwardDoublesRoundTripBitExactly) {
+  // Values that %.15g mangles and %.17g over-lengthens; append_number must
+  // emit the shortest form that strtod parses back to the identical double.
+  const double awkward[] = {
+      1e-9,
+      0.82,                  // the t4 speedup that started all this
+      0.1,
+      1.0 / 3.0,
+      9007199254740991.0,    // 2^53 - 1, last exact odd integer
+      9007199254740994.0,    // 2^53 + 2, adjacent representable
+      1.7976931348623157e308,
+      5e-324,                // min subnormal
+      -2.5e-300,
+      0.0,
+      -17.25,
+  };
+  for (const double x : awkward) {
+    std::string out;
+    json::append_number(out, x);
+    EXPECT_EQ(std::strtod(out.c_str(), nullptr), x) << "emitted " << out;
+  }
+  // NaN / infinity are not JSON; they degrade to 0 rather than corrupting
+  // the document.
+  std::string out;
+  json::append_number(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "0");
+  out.clear();
+  json::append_number(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "0");
+}
+
+TEST(JsonNumberTest, ValueDumpParseIsAFixedPointOnAwkwardNumbers) {
+  json::Value arr;
+  arr.kind = json::Value::Kind::kArray;
+  for (const double x : {1e-9, 0.82, 9007199254740991.0, 1.0 / 3.0}) {
+    json::Value n;
+    n.kind = json::Value::Kind::kNumber;
+    n.number = x;
+    arr.array.push_back(n);
+  }
+  const auto parsed = json::parse(arr.dump());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(*parsed == arr);
+}
+
+TEST_F(ObsTest, SnapshotSkipsEmptyEntries) {
+  Registry::global().counter("t.zero");          // registered but never added
+  Registry::global().gauge("t.empty_gauge");     // never observed
+  count("t.live", 2);
+  const Registry::Snapshot snap = Registry::global().snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "t.live");
+  EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST_F(ObsTest, SnapshotAndResetScopesPhases) {
+  count("t.phase_ctr", 10);
+  observe("t.phase_gauge", 1.0);
+  { SCAP_TRACE_SCOPE("t.phase_span"); }
+  const Registry::Snapshot phase1 = Registry::global().snapshot_and_reset();
+
+  // The registry starts the next phase from zero, references intact.
+  EXPECT_EQ(Registry::global().counter("t.phase_ctr").value(), 0u);
+  EXPECT_EQ(Registry::global().gauge("t.phase_gauge").snapshot().count(), 0u);
+
+  count("t.phase_ctr", 5);
+  observe("t.phase_gauge", 3.0);
+  observe("t.phase_gauge", 5.0);
+  Registry::Snapshot phase2 = Registry::global().snapshot_and_reset();
+
+  ASSERT_EQ(phase1.counters.size(), 1u);
+  EXPECT_EQ(phase1.counters[0].second, 10u);
+  ASSERT_EQ(phase2.counters.size(), 1u);
+  EXPECT_EQ(phase2.counters[0].second, 5u);
+  ASSERT_EQ(phase1.timers.size(), 1u);
+  EXPECT_EQ(phase1.timers[0].stats.count(), 1u);
+
+  // Merging the phases reconstructs the cumulative run.
+  phase2.merge(phase1);
+  ASSERT_EQ(phase2.counters.size(), 1u);
+  EXPECT_EQ(phase2.counters[0].second, 15u);
+  ASSERT_EQ(phase2.gauges.size(), 1u);
+  EXPECT_EQ(phase2.gauges[0].second.count(), 3u);
+  EXPECT_EQ(phase2.gauges[0].second.min(), 1.0);
+  EXPECT_EQ(phase2.gauges[0].second.max(), 5.0);
+  EXPECT_EQ(phase2.timers.size(), 1u);
+}
+
+TEST_F(ObsTest, PhaseScopedReportEmitsPerPhaseAndMergedMetrics) {
+  RunReport rep;
+  rep.name = "phased";
+
+  count("t.work", 3);
+  PhaseTime p1;
+  p1.name = "first";
+  p1.wall_ms = 5.0;
+  p1.metrics = Registry::global().snapshot_and_reset();
+  rep.phases.push_back(std::move(p1));
+
+  count("t.work", 4);
+  observe("t.late_gauge", 2.0);
+  PhaseTime p2;
+  p2.name = "second";
+  p2.wall_ms = 7.0;
+  p2.metrics = Registry::global().snapshot_and_reset();
+  rep.phases.push_back(std::move(p2));
+
+  const std::string text = to_json(rep);
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+
+  // Top level carries the merge of both phases (the cumulative run).
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("t.work"), nullptr);
+  EXPECT_EQ(counters->find("t.work")->number, 7.0);
+
+  const json::Value* phases = doc->find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->array.size(), 2u);
+  const json::Value* m1 = phases->array[0].find("metrics");
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m1->find("counters")->find("t.work")->number, 3.0);
+  const json::Value* m2 = phases->array[1].find("metrics");
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m2->find("counters")->find("t.work")->number, 4.0);
+  ASSERT_NE(m2->find("gauges")->find("t.late_gauge"), nullptr);
+  EXPECT_EQ(m2->find("gauges")->find("t.late_gauge")->find("mean")->number,
+            2.0);
+  // Phase one observed no gauges; its section is present but empty.
+  EXPECT_TRUE(m1->find("gauges")->object.empty());
 }
 
 TEST(ObsConfigTest, FlagsMirrorConfig) {

@@ -12,6 +12,8 @@
 #include "core/experiment.h"
 #include "core/power_aware.h"
 #include "core/validation.h"
+#include "obs/prof.h"
+#include "obs/trace.h"
 #include "power/power_grid.h"
 #include "power/statistical.h"
 #include "rt/thread_pool.h"
@@ -200,6 +202,37 @@ TEST(RtDeterminism, ValidatePatternIrInvariant) {
   EXPECT_EQ(at1.scaled_endpoint_ns, at4.scaled_endpoint_ns);
   EXPECT_EQ(at1.scaled.scap.vdd_energy_total_pj,
             at4.scaled.scap.vdd_energy_total_pj);
+}
+
+TEST(RtDeterminism, SchedulerProfilerDoesNotChangeResults) {
+  // SCAP_PROF only observes the scheduler; turning it on must not perturb a
+  // parallel pipeline's output in any bit.
+  const Experiment& exp = exp_fixture();
+  const PatternSet pats =
+      random_pattern_set(96, exp.ctx.num_vars(), /*seed=*/2007);
+  auto run = [&] {
+    FaultSimulator fsim(exp.soc.netlist, exp.ctx);
+    std::vector<std::size_t> counts;
+    std::vector<std::size_t> first =
+        fsim.grade(pats.patterns, exp.faults, &counts);
+    return std::pair(std::move(first), std::move(counts));
+  };
+  obs::ObsConfig cfg = obs::config();
+  cfg.prof = false;
+  obs::configure(cfg);
+  const auto off = at_threads(4, run);
+  cfg.prof = true;
+  obs::configure(cfg);
+  obs::prof_reset();
+  const auto on = at_threads(4, run);
+  cfg.prof = false;
+  obs::configure(cfg);
+
+  EXPECT_EQ(off.first, on.first);
+  EXPECT_EQ(off.second, on.second);
+  // And the profiler actually saw the profiled run.
+  EXPECT_FALSE(obs::collect_pool_profile().empty());
+  obs::prof_reset();
 }
 
 TEST(RtDeterminism, RepairFlowInvariant) {

@@ -1,0 +1,174 @@
+// bench_diff: compare a BENCH_*.json artifact against a committed baseline
+// and maintain the bench trajectory ledger.
+//
+// Flattens both artifacts into named metric rows (obs/bench_compare.h),
+// classifies each metric's improvement direction from its name, and fails
+// when a directional metric moves the wrong way by more than the relative
+// tolerance. Optionally appends one JSONL row per run to a trajectory file
+// (bench/history/trajectory.jsonl in this repo) so performance history
+// accumulates across PRs.
+//
+// Usage:
+//   bench_diff --current FILE [--baseline FILE] [--tolerance FRAC]
+//              [--history FILE] [--label STR] [--warn-only]
+//              [--write-baseline FILE]
+//
+//   --current FILE         the freshly produced BENCH_*.json (required)
+//   --baseline FILE        committed reference artifact; without it the tool
+//                          only flattens/records (nothing to diff)
+//   --tolerance FRAC       relative slack, default 0.25 (timings on shared CI
+//                          runners are noisy; ratios like *_speedup move less)
+//   --history FILE         append one JSONL trajectory row here
+//   --label STR            free-form row label (git SHA, "local", ...)
+//   --warn-only            report regressions but exit 0 (CI soak mode)
+//   --write-baseline FILE  copy the current artifact to FILE and exit
+//
+// Exit codes: 0 = ok (or --warn-only), 1 = regression beyond tolerance,
+// 2 = usage / parse / I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_compare.h"
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --current FILE [--baseline FILE] [--tolerance FRAC]\n"
+               "       [--history FILE] [--label STR] [--warn-only]\n"
+               "       [--write-baseline FILE]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::optional<scap::obs::json::Value> load_bench(const std::string& path) {
+  const std::optional<std::string> text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "bench_diff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::optional<scap::obs::json::Value> v = scap::obs::json::parse(*text);
+  if (!v) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string current_path, baseline_path, history_path, write_baseline_path;
+  std::string label = "local";
+  double tolerance = 0.25;
+  bool warn_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--current") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      current_path = v;
+    } else if (arg == "--baseline") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      baseline_path = v;
+    } else if (arg == "--tolerance") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      tolerance = std::atof(v);
+    } else if (arg == "--history") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      history_path = v;
+    } else if (arg == "--label") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      label = v;
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--write-baseline") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      write_baseline_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (current_path.empty() || tolerance <= 0.0) return usage(argv[0]);
+
+  const std::optional<scap::obs::json::Value> current =
+      load_bench(current_path);
+  if (!current) return 2;
+
+  if (!write_baseline_path.empty()) {
+    const std::optional<std::string> text = read_file(current_path);
+    if (!text || !scap::obs::write_file(write_baseline_path, *text)) {
+      std::fprintf(stderr, "bench_diff: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bench_diff: baseline written to %s\n",
+                write_baseline_path.c_str());
+    return 0;
+  }
+
+  const std::vector<scap::obs::bench::MetricRow> rows =
+      scap::obs::bench::flatten_bench(*current);
+  std::string bench_name = "bench";
+  if (const scap::obs::json::Value* n = current->find("name");
+      n && n->kind == scap::obs::json::Value::Kind::kString) {
+    bench_name = n->string;
+  }
+  std::printf("bench_diff: %s (%zu metrics from %s)\n", bench_name.c_str(),
+              rows.size(), current_path.c_str());
+
+  if (!history_path.empty()) {
+    std::ofstream os(history_path, std::ios::app);
+    if (!os) {
+      std::fprintf(stderr, "bench_diff: cannot append to %s\n",
+                   history_path.c_str());
+      return 2;
+    }
+    os << scap::obs::bench::trajectory_line(
+              bench_name, label,
+              static_cast<std::int64_t>(std::time(nullptr)), rows)
+       << "\n";
+    std::printf("trajectory: appended row to %s\n", history_path.c_str());
+  }
+
+  if (baseline_path.empty()) return 0;
+  const std::optional<scap::obs::json::Value> baseline =
+      load_bench(baseline_path);
+  if (!baseline) return 2;
+
+  const scap::obs::bench::DiffResult diff =
+      scap::obs::bench::compare(*baseline, *current, tolerance);
+  std::fputs(scap::obs::bench::format_diff(diff, tolerance).c_str(), stdout);
+  if (!diff.ok()) {
+    if (warn_only) {
+      std::printf("bench_diff: regressions found, exiting 0 (--warn-only)\n");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}
