@@ -15,11 +15,13 @@
 // scap_profile_patterns).
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "atpg/context.h"
 #include "atpg/pattern.h"
+#include "lint/static_power.h"
 #include "netlist/tech_library.h"
 #include "sim/event_sim.h"
 #include "sim/logic_sim.h"
@@ -62,6 +64,19 @@ class PatternAnalyzer {
   const ScapReport& analyze_scap(const TestContext& ctx,
                                  const Pattern& pattern) const;
 
+  /// Tier-1 static screen: a sound per-block SCAP *upper bound* from the
+  /// pattern bits alone -- no event simulation (lint/static_power.h). A
+  /// pattern whose bound clears every threshold provably cannot violate, so
+  /// only the remainder needs analyze_scap (see scap_screen_patterns). The
+  /// returned reference is valid until the next screen_static() call.
+  const lint::StaticScapBound& screen_static(const TestContext& ctx,
+                                             const Pattern& pattern) const;
+
+  /// The lazily-built static model behind screen_static (same per-net toggle
+  /// energies as the exact calculator, nominal clock arrivals, min nominal
+  /// gate delays).
+  const lint::StaticScapModel& static_model() const;
+
   /// Endpoint path delay per flop: last D-pin transition relative to the
   /// flop's own clock arrival (the paper's Figure 7 measurement). Inactive
   /// endpoints (no transition observed) report 0.
@@ -103,6 +118,7 @@ class PatternAnalyzer {
   mutable std::vector<Stimulus> stimuli_;
   mutable ScapAccumulator scap_acc_;
   mutable TraceRecorder recorder_;
+  mutable std::unique_ptr<lint::StaticScapModel> static_model_;
 };
 
 }  // namespace scap

@@ -48,6 +48,59 @@ std::vector<ScapReport> scap_profile(const SocDesign& soc,
   return scap_profile_patterns(soc, lib, ctx, patterns.patterns);
 }
 
+ScapScreenResult scap_screen_patterns(const SocDesign& soc,
+                                      const TechLibrary& lib,
+                                      const TestContext& ctx,
+                                      std::span<const Pattern> patterns,
+                                      const ScapThresholds& thresholds,
+                                      std::size_t hot_block) {
+  SCAP_TRACE_SCOPE("scap.screen");
+  obs::count("screen.runs");
+  obs::count("screen.patterns", patterns.size());
+  ScapScreenResult out;
+  out.violates.assign(patterns.size(), 0);
+  std::vector<std::uint8_t> simmed(patterns.size(), 0);
+
+  const auto screen_range = [&](const PatternAnalyzer& analyzer, std::size_t b,
+                                std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      const lint::StaticScapBound& bound =
+          analyzer.screen_static(ctx, patterns[i]);
+      if (bound.block_scap_mw(hot_block) <= thresholds.block_mw[hot_block]) {
+        continue;  // bound clears the threshold: provably not a violation
+      }
+      simmed[i] = 1;
+      out.violates[i] = thresholds.violates(
+                            analyzer.analyze_scap(ctx, patterns[i]), hot_block)
+                            ? 1
+                            : 0;
+    }
+  };
+
+  const std::size_t threads = rt::concurrency();
+  if (threads <= 1 || patterns.size() < 2 ||
+      rt::ThreadPool::on_worker_thread()) {
+    PatternAnalyzer analyzer(soc, lib);
+    screen_range(analyzer, 0, patterns.size());
+  } else {
+    const std::size_t n_shards = std::min(patterns.size(), threads * 2);
+    const std::size_t per = (patterns.size() + n_shards - 1) / n_shards;
+    rt::ThreadPool::global()->run_chunked(n_shards, [&](std::size_t s) {
+      const std::size_t b = s * per;
+      const std::size_t e = std::min(patterns.size(), b + per);
+      if (b >= e) return;
+      PatternAnalyzer analyzer(soc, lib);
+      screen_range(analyzer, b, e);
+    });
+  }
+
+  for (auto s : simmed) out.event_simmed += s;
+  out.statically_clean = patterns.size() - out.event_simmed;
+  obs::count("screen.static.clean", out.statically_clean);
+  obs::count("screen.eventsim", out.event_simmed);
+  return out;
+}
+
 IrValidationResult validate_pattern_ir(const SocDesign& soc,
                                        const TechLibrary& lib,
                                        const PowerGrid& grid,
@@ -123,12 +176,14 @@ RepairResult repair_scap_violations(const SocDesign& soc,
     }
   }
 
-  // Keep only the clean patterns (bulk screen fanned out across the pool).
+  // Keep only the clean patterns (two-tier screen: most patterns are cleared
+  // by the static bound and never event-simulated).
   std::vector<Pattern> kept;
   {
-    const auto reports = scap_profile_patterns(soc, lib, ctx, patterns.patterns);
+    const auto screen = scap_screen_patterns(soc, lib, ctx, patterns.patterns,
+                                             thresholds, hot_block);
     for (std::size_t i = 0; i < patterns.patterns.size(); ++i) {
-      if (thresholds.violates(reports[i], hot_block)) {
+      if (screen.violates[i]) {
         ++out.violations_before;
       } else {
         kept.push_back(patterns.patterns[i]);
@@ -159,10 +214,11 @@ RepairResult repair_scap_violations(const SocDesign& soc,
     const AtpgResult res = engine.run(faults, round_opt, &status);
 
     bool any_clean = false;
-    const auto reports =
-        scap_profile_patterns(soc, lib, ctx, res.patterns.patterns);
+    const auto screen = scap_screen_patterns(soc, lib, ctx,
+                                             res.patterns.patterns, thresholds,
+                                             hot_block);
     for (std::size_t i = 0; i < res.patterns.patterns.size(); ++i) {
-      if (!thresholds.violates(reports[i], hot_block)) {
+      if (!screen.violates[i]) {
         kept.push_back(res.patterns.patterns[i]);
         any_clean = true;
       }
@@ -177,11 +233,10 @@ RepairResult repair_scap_violations(const SocDesign& soc,
   for (auto idx : after) {
     out.detected_after += (idx != FaultSimulator::kUndetected);
   }
-  const auto final_reports =
-      scap_profile_patterns(soc, lib, ctx, out.patterns.patterns);
-  for (const ScapReport& rep : final_reports) {
-    out.violations_after += thresholds.violates(rep, hot_block) ? 1 : 0;
-  }
+  out.violations_after =
+      scap_screen_patterns(soc, lib, ctx, out.patterns.patterns, thresholds,
+                           hot_block)
+          .count_violations();
   return out;
 }
 

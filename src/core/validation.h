@@ -42,6 +42,32 @@ std::vector<ScapReport> scap_profile_patterns(const SocDesign& soc,
                                               const TestContext& ctx,
                                               std::span<const Pattern> patterns);
 
+/// Two-tier threshold screen. Tier 1 bounds every pattern's hot-block SCAP
+/// statically (PatternAnalyzer::screen_static -- no event simulation); only
+/// patterns whose *bound* exceeds the threshold are event-simulated for the
+/// exact verdict. Because the bound is sound (bound <= threshold implies
+/// exact <= threshold), the verdicts are identical to exactly screening every
+/// pattern, and bit-identical at any SCAP_THREADS; the statically-cleared
+/// majority just never pays for a simulation.
+struct ScapScreenResult {
+  std::vector<std::uint8_t> violates;  ///< exact per-pattern verdicts
+  std::size_t statically_clean = 0;    ///< tier-1 proven clean (sim skipped)
+  std::size_t event_simmed = 0;        ///< tier-2 exact screens run
+
+  std::size_t count_violations() const {
+    std::size_t n = 0;
+    for (auto v : violates) n += v;
+    return n;
+  }
+};
+
+ScapScreenResult scap_screen_patterns(const SocDesign& soc,
+                                      const TechLibrary& lib,
+                                      const TestContext& ctx,
+                                      std::span<const Pattern> patterns,
+                                      const ScapThresholds& thresholds,
+                                      std::size_t hot_block);
+
 struct IrValidationResult {
   PatternAnalysis nominal;
   DynamicIrReport ir;

@@ -1,0 +1,104 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+
+namespace scap::lint {
+
+std::string fingerprint(const Diagnostic& d) {
+  return d.rule + "|" + d.loc.kind + "|" + d.loc.name;
+}
+
+Baseline Baseline::parse(std::string_view text,
+                         std::vector<std::string>* rejects) {
+  Baseline b;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    if (std::count(line.begin(), line.end(), '|') < 2) {
+      if (rejects != nullptr) rejects->emplace_back(line);
+      continue;
+    }
+    b.insert(std::string(line));
+  }
+  return b;
+}
+
+void Baseline::insert(std::string fp) {
+  const auto it = std::lower_bound(entries_.begin(), entries_.end(), fp);
+  if (it != entries_.end() && *it == fp) return;
+  entries_.insert(it, std::move(fp));
+}
+
+bool Baseline::contains(std::string_view fp) const {
+  return std::binary_search(entries_.begin(), entries_.end(), fp);
+}
+
+std::string Baseline::serialize() const {
+  std::string out =
+      "# scap_lint baseline: accepted findings, one rule|kind|name per "
+      "line.\n# Regenerate with scap_lint --write-baseline <file>.\n";
+  for (const std::string& fp : entries_) {
+    out += fp;
+    out += '\n';
+  }
+  return out;
+}
+
+Baseline baseline_from(const LintReport& rep) {
+  Baseline b;
+  for (const Diagnostic& d : rep.diagnostics) b.insert(fingerprint(d));
+  return b;
+}
+
+std::size_t apply_baseline(LintReport& rep, const Baseline& base) {
+  if (base.empty()) return 0;
+  std::size_t dropped = 0;
+  std::vector<Diagnostic> kept;
+  kept.reserve(rep.diagnostics.size());
+  for (Diagnostic& d : rep.diagnostics) {
+    if (!base.contains(fingerprint(d))) {
+      kept.push_back(std::move(d));
+      continue;
+    }
+    ++dropped;
+    switch (d.severity) {
+      case Severity::kError:
+        --rep.errors;
+        break;
+      case Severity::kWarning:
+        --rep.warnings;
+        break;
+      case Severity::kInfo:
+        --rep.infos;
+        break;
+    }
+    for (auto& [id, n] : rep.rule_counts) {
+      if (id == d.rule) {
+        --n;
+        break;
+      }
+    }
+  }
+  rep.diagnostics = std::move(kept);
+  rep.suppressed += dropped;
+  std::erase_if(rep.rule_counts, [](const auto& rc) { return rc.second == 0; });
+  return dropped;
+}
+
+}  // namespace scap::lint

@@ -1,0 +1,61 @@
+// Finding baselines: suppress known, accepted lint findings.
+//
+// A baseline file records one fingerprint per line -- "rule|kind|name",
+// derived from a diagnostic's rule id and location -- plus '#' comments and
+// blank lines. `scap_lint --baseline known.txt` drops every finding whose
+// fingerprint appears in the file (they still count in `suppressed`), so CI
+// exits 0 on a design whose pre-existing findings were triaged and accepted
+// while any *new* finding still fails the run. `--write-baseline` emits the
+// current findings in baseline format to bootstrap the file.
+//
+// Fingerprints deliberately exclude the message text (which embeds values and
+// counts that churn) and the numeric id (which shifts when the design is
+// regenerated); rule + location kind + stable name is the identity that
+// survives rebuilds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/diagnostics.h"
+
+namespace scap::lint {
+
+/// "rule|kind|name" -- the suppression identity of a finding.
+std::string fingerprint(const Diagnostic& d);
+
+class Baseline {
+ public:
+  Baseline() = default;
+
+  /// Parse baseline text: one fingerprint per line; '#'-to-end-of-line
+  /// comments and surrounding whitespace are ignored. Unparseable lines
+  /// (fewer than two '|' separators) are collected in `rejects`.
+  static Baseline parse(std::string_view text,
+                        std::vector<std::string>* rejects = nullptr);
+
+  void insert(std::string fp);
+  bool contains(std::string_view fp) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Baseline-format text: a header comment plus the sorted fingerprints.
+  std::string serialize() const;
+
+ private:
+  std::vector<std::string> entries_;  ///< sorted, unique
+};
+
+/// Build a baseline covering every diagnostic in `rep`.
+Baseline baseline_from(const LintReport& rep);
+
+/// Remove the diagnostics whose fingerprint `base` contains, keeping the
+/// report's per-rule and per-severity totals consistent (each suppressed
+/// finding moves its count into `suppressed`). Returns how many were
+/// suppressed. Capped findings (dropped by max_per_rule before the baseline
+/// sees them) cannot be matched -- run with max_per_rule = 0 when baselining.
+std::size_t apply_baseline(LintReport& rep, const Baseline& base);
+
+}  // namespace scap::lint

@@ -17,6 +17,7 @@ void record_metrics(const LintReport& rep) {
   obs::count("lint.errors", rep.errors);
   obs::count("lint.warnings", rep.warnings);
   obs::count("lint.infos", rep.infos);
+  obs::count("lint.suppressed", rep.suppressed);
   for (const auto& [id, n] : rep.rule_counts) {
     obs::count("lint.rule." + id, n);
   }
@@ -35,6 +36,7 @@ LintReport run(const LintInput& in, const LintConfig& cfg) {
     check_scan_chains(*in.netlist, in.scan_chains, diag);
   }
   check_patterns(in, diag);
+  check_dataflow(in, diag);
   LintReport rep = std::move(diag).finish();
   record_metrics(rep);
   return rep;
@@ -47,7 +49,8 @@ LintReport run(const Netlist& nl, const LintConfig& cfg) {
 }
 
 bool lint_enabled() {
-  if (const char* e = std::getenv("SCAP_LINT")) {
+  // Read-only env probe; callers are single-threaded verify/CLI paths.
+  if (const char* e = std::getenv("SCAP_LINT")) {  // NOLINT(concurrency-mt-unsafe)
     return !(e[0] == '0' && e[1] == '\0');
   }
 #ifdef NDEBUG

@@ -81,6 +81,36 @@ constexpr RuleInfo kRules[] = {
      "pattern's block SCAP exceeds the Case2-derived threshold",
      "replace or regenerate the pattern (see core/power_aware.h); it is an "
      "IR-drop overkill risk"},
+    // -- dataflow ------------------------------------------------------------
+    {rule::kNetUncontrollable, Severity::kWarning,
+     "net cannot be justified to both logic values from the scan state",
+     "review held primary-input constants or add a control test point; "
+     "transition faults on the net are untestable"},
+    {rule::kNetUnobservable, Severity::kWarning,
+     "net has no sensitizable path to any scan cell or primary output",
+     "add an observe test point or re-wire the cone; faults on the net "
+     "escape every pattern"},
+    {rule::kNetConstant, Severity::kInfo,
+     "net is provably stuck at one value for every loadable scan state",
+     "driven by tie-derived or held-PI logic; consider removing the "
+     "constant cone or freeing the held input"},
+    {rule::kFlopConstantD, Severity::kWarning,
+     "scan cell captures a constant: its D cone settles to a fixed value",
+     "the cell observes nothing at capture; connect its D cone to live "
+     "logic or drop it from at-speed test"},
+    {rule::kCaptureXContaminated, Severity::kWarning,
+     "pattern launches X into capture: unfilled cells reach active flops",
+     "fill the contributing don't-care scan cells (or mask the capture); "
+     "an X launch value makes the measured response unpredictable"},
+    {rule::kScapStaticOverThreshold, Severity::kInfo,
+     "pattern's static SCAP upper bound exceeds a block threshold",
+     "not provably clean by the tier-1 static screen; event-simulate the "
+     "pattern (tier 2) before signing it off"},
+    {rule::kBlockStaticHot, Severity::kInfo,
+     "block's worst-case static SCAP bound exceeds its threshold",
+     "some pattern may violate this block's threshold; keep the block in "
+     "the event-sim screening set (a bound under the threshold would have "
+     "proven every pattern clean)"},
 };
 
 }  // namespace

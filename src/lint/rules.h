@@ -42,6 +42,17 @@ inline constexpr std::string_view kPatternCareMismatch = "pattern-care-mismatch"
 inline constexpr std::string_view kFillNonconforming = "fill-nonconforming";
 inline constexpr std::string_view kScapOverThreshold = "scap-over-threshold";
 
+// -- dataflow rules (dataflow_rules.cpp, powered by lint/dataflow.h) ---------
+inline constexpr std::string_view kNetUncontrollable = "net-uncontrollable";
+inline constexpr std::string_view kNetUnobservable = "net-unobservable";
+inline constexpr std::string_view kNetConstant = "net-constant";
+inline constexpr std::string_view kFlopConstantD = "flop-constant-d";
+inline constexpr std::string_view kCaptureXContaminated =
+    "capture-x-contaminated";
+inline constexpr std::string_view kScapStaticOverThreshold =
+    "scap-static-over-threshold";
+inline constexpr std::string_view kBlockStaticHot = "block-static-hot";
+
 }  // namespace rule
 
 struct RuleInfo {

@@ -194,7 +194,8 @@ bool write_file(const std::string& path, std::string_view contents) {
 
 std::string bench_artifact_path(std::string_view bench_name) {
   std::string dir;
-  if (const char* env = std::getenv("SCAP_METRICS_DIR")) {
+  // Artifact emission is a main-thread epilogue; env is never written.
+  if (const char* env = std::getenv("SCAP_METRICS_DIR")) {  // NOLINT(concurrency-mt-unsafe)
     if (env[0] != '\0') dir = env;
   }
   std::string path;

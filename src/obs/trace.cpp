@@ -117,17 +117,18 @@ const EnvInit g_env_init;
 
 ObsConfig config_from_env() {
   ObsConfig cfg;
-  if (const char* env = std::getenv("SCAP_TRACE")) {
+  // Static-init-time reads; nothing mutates the environment.
+  if (const char* env = std::getenv("SCAP_TRACE")) {  // NOLINT(concurrency-mt-unsafe)
     if (std::strcmp(env, "0") != 0 && env[0] != '\0') {
       cfg.trace = true;
       cfg.dump_trace_at_exit = true;
       if (std::strcmp(env, "1") != 0) cfg.trace_path = env;
     }
   }
-  if (const char* env = std::getenv("SCAP_METRICS")) {
+  if (const char* env = std::getenv("SCAP_METRICS")) {  // NOLINT(concurrency-mt-unsafe)
     cfg.metrics = std::strcmp(env, "0") != 0 && env[0] != '\0';
   }
-  if (const char* env = std::getenv("SCAP_PROF")) {
+  if (const char* env = std::getenv("SCAP_PROF")) {  // NOLINT(concurrency-mt-unsafe)
     cfg.prof = std::strcmp(env, "0") != 0 && env[0] != '\0';
   }
   return cfg;

@@ -70,39 +70,50 @@ const char* injected_bug_name(InjectedBug b) {
   return "?";
 }
 
+ScenarioSetup materialize_scenario(const Scenario& sc) {
+  TechLibrary lib = TechLibrary::generic180();
+  SocConfig cfg = SocConfig::tiny(sc.soc_seed);
+  cfg.seed = sc.soc_seed;
+  cfg.scan_chains = std::max<std::size_t>(1, sc.scan_chains);
+  cfg.gates_per_flop = std::clamp(sc.gates_per_flop, 1.0, 16.0);
+  const double scale = std::clamp(sc.flops_scale, 0.05, 4.0);
+  for (auto& p : cfg.population) {
+    p.flops = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::lround(
+               static_cast<double>(p.flops) * scale)));
+  }
+  SocDesign soc = build_soc(cfg, lib);
+  const Netlist& nl = soc.netlist;
+
+  const auto domain = static_cast<DomainId>(
+      std::min<std::uint64_t>(sc.domain, nl.domain_count() - 1));
+  TestContext ctx;
+  switch (sc.scheme % 3) {
+    case 0:
+      ctx = TestContext::for_domain(nl, domain);
+      break;
+    case 1:
+      ctx = TestContext::for_domain_los(nl, domain, soc.scan.chains);
+      break;
+    default:
+      ctx = TestContext::for_domain_enhanced(nl, domain);
+      break;
+  }
+
+  std::vector<Pattern> patterns = make_patterns(sc, ctx);
+  return ScenarioSetup{std::move(lib), std::move(soc), std::move(ctx),
+                       std::move(patterns)};
+}
+
 ScenarioResult run_scenario(const Scenario& sc, InjectedBug inject) {
   ScenarioResult res;
   try {
-    const TechLibrary lib = TechLibrary::generic180();
-    SocConfig cfg = SocConfig::tiny(sc.soc_seed);
-    cfg.seed = sc.soc_seed;
-    cfg.scan_chains = std::max<std::size_t>(1, sc.scan_chains);
-    cfg.gates_per_flop = std::clamp(sc.gates_per_flop, 1.0, 16.0);
-    const double scale = std::clamp(sc.flops_scale, 0.05, 4.0);
-    for (auto& p : cfg.population) {
-      p.flops = std::max<std::size_t>(
-          2, static_cast<std::size_t>(std::lround(
-                 static_cast<double>(p.flops) * scale)));
-    }
-    const SocDesign soc = build_soc(cfg, lib);
+    const ScenarioSetup su = materialize_scenario(sc);
+    const TechLibrary& lib = su.lib;
+    const SocDesign& soc = su.soc;
     const Netlist& nl = soc.netlist;
-
-    const auto domain = static_cast<DomainId>(
-        std::min<std::uint64_t>(sc.domain, nl.domain_count() - 1));
-    TestContext ctx;
-    switch (sc.scheme % 3) {
-      case 0:
-        ctx = TestContext::for_domain(nl, domain);
-        break;
-      case 1:
-        ctx = TestContext::for_domain_los(nl, domain, soc.scan.chains);
-        break;
-      default:
-        ctx = TestContext::for_domain_enhanced(nl, domain);
-        break;
-    }
-
-    const std::vector<Pattern> patterns = make_patterns(sc, ctx);
+    const TestContext& ctx = su.ctx;
+    const std::vector<Pattern>& patterns = su.patterns;
 
     DelayModel dm(nl, lib, soc.parasitics);
     if (sc.droop) {

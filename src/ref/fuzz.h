@@ -17,10 +17,26 @@
 #include <string>
 #include <vector>
 
+#include "atpg/context.h"
+#include "atpg/pattern.h"
 #include "ref/compare.h"
 #include "ref/scenario.h"
+#include "soc/generator.h"
 
 namespace scap::ref {
+
+/// The materialized front half of run_scenario: the SOC, test context and
+/// pattern list a Scenario recipe decodes to. Exported so other harnesses
+/// (the dataflow calibration tests, notably) can replay corpus scenarios
+/// against different engines without duplicating the recipe decoding.
+struct ScenarioSetup {
+  TechLibrary lib;
+  SocDesign soc;
+  TestContext ctx;
+  std::vector<Pattern> patterns;
+};
+
+ScenarioSetup materialize_scenario(const Scenario& sc);
 
 /// Deliberate defects injected into the *optimized* side of the comparison
 /// (never into the references), used by the self-test to prove the harness

@@ -15,7 +15,8 @@ namespace {
 thread_local bool tl_on_worker = false;
 
 std::size_t env_concurrency() {
-  if (const char* env = std::getenv("SCAP_THREADS")) {
+  // Read once while single-threaded (first pool construction).
+  if (const char* env = std::getenv("SCAP_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
     const long n = std::atol(env);
     if (n >= 1) return std::min<std::size_t>(static_cast<std::size_t>(n), 256);
   }

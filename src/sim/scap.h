@@ -67,6 +67,14 @@ class ScapCalculator {
   /// Account a full launch-to-capture toggle trace at tester period T.
   ScapReport compute(const SimTrace& trace, double period_ns) const;
 
+  /// Switching energy charged per toggle of `net` (C_load * VDD^2) -- the
+  /// exact quantum on_toggle adds. The static screening proxy
+  /// (lint/static_power.h) is built from these so its energy bound uses the
+  /// same per-net numbers as the exact accounting.
+  double net_toggle_energy_pj(NetId net) const {
+    return lib_->toggle_energy_pj(net_cap_pf_[net]);
+  }
+
  private:
   friend class ScapAccumulator;
 

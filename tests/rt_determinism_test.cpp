@@ -235,6 +235,38 @@ TEST(RtDeterminism, SchedulerProfilerDoesNotChangeResults) {
   obs::prof_reset();
 }
 
+TEST(RtDeterminism, ScapScreenCascadeInvariant) {
+  // The two-tier screen (static bound -> selective event sim) must give the
+  // same verdicts, the same statically-clean count, and exactly the verdicts
+  // of the exact-everywhere profile, at any thread count.
+  const Experiment& exp = exp_fixture();
+  const PatternSet pats =
+      random_pattern_set(96, exp.ctx.num_vars(), /*seed=*/2007);
+  auto run = [&] {
+    return scap_screen_patterns(exp.soc, *exp.lib, exp.ctx, pats.patterns,
+                                exp.thresholds, Experiment::kHotBlock);
+  };
+  const ScapScreenResult at1 = at_threads(1, run);
+  const ScapScreenResult at4 = at_threads(4, run);
+
+  EXPECT_EQ(at1.violates, at4.violates);
+  EXPECT_EQ(at1.statically_clean, at4.statically_clean);
+  EXPECT_EQ(at1.event_simmed, at4.event_simmed);
+  EXPECT_EQ(at1.statically_clean + at1.event_simmed, pats.size());
+
+  // Verdict equivalence with the unscreened exact profile (soundness of the
+  // tier-1 skip): every skipped pattern is genuinely non-violating.
+  const std::vector<ScapReport> exact = at_threads(4, [&] {
+    return scap_profile_patterns(exp.soc, *exp.lib, exp.ctx, pats.patterns);
+  });
+  ASSERT_EQ(exact.size(), at4.violates.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(at4.violates[i] != 0,
+              exp.thresholds.violates(exact[i], Experiment::kHotBlock))
+        << "pattern " << i;
+  }
+}
+
 TEST(RtDeterminism, RepairFlowInvariant) {
   // The repair loop interleaves parallel grading, parallel SCAP screening,
   // and serial ATPG rounds; the kept pattern set must not depend on the

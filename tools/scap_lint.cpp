@@ -16,7 +16,9 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "lint/baseline.h"
 #include "lint/lint.h"
 #include "netlist/verilog.h"
 #include "soc/generator.h"
@@ -39,6 +41,13 @@ int usage(const char* argv0) {
                "  --max-per-rule N   diagnostics retained per rule, 0 = all "
                "(default 25)\n"
                "  --disable RULE     skip a rule id (repeatable)\n"
+               "  --baseline FILE    suppress findings listed in FILE "
+               "(rule|kind|name per line);\n"
+               "                     only *new* findings count toward "
+               "--fail-on\n"
+               "  --write-baseline FILE\n"
+               "                     write the run's findings to FILE in "
+               "baseline format and exit 0\n"
                "  --list-rules       print the rule registry and exit\n",
                argv0);
   return 2;
@@ -68,6 +77,8 @@ int main(int argc, char** argv) {
   std::string format = "text";
   std::string output_path;
   std::string fail_on = "error";
+  std::string baseline_path;
+  std::string write_baseline_path;
   lint::LintConfig cfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -95,6 +106,10 @@ int main(int argc, char** argv) {
       cfg.max_per_rule = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--disable") {
       cfg.disabled.emplace_back(value());
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value();
     } else if (arg == "--list-rules") {
       list_rules();
       return 0;
@@ -115,6 +130,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Baselines match retained diagnostics; the per-rule cap would hide
+  // findings from the fingerprint match (and from --write-baseline).
+  if (!baseline_path.empty() || !write_baseline_path.empty()) {
+    cfg.max_per_rule = 0;
+  }
+
   try {
     lint::LintReport rep;
     if (!verilog_path.empty()) {
@@ -128,6 +149,25 @@ int main(int argc, char** argv) {
       in.netlist = &soc.netlist;
       in.scan_chains = soc.scan.chains;
       rep = lint::run(in, cfg);
+    }
+
+    if (!write_baseline_path.empty()) {
+      std::ofstream os(write_baseline_path, std::ios::binary);
+      if (!os) throw std::runtime_error("cannot write " + write_baseline_path);
+      os << lint::baseline_from(rep).serialize();
+      std::fprintf(stderr, "scap_lint: wrote %zu fingerprint(s) to %s\n",
+                   rep.diagnostics.size(), write_baseline_path.c_str());
+      return 0;
+    }
+    if (!baseline_path.empty()) {
+      std::vector<std::string> rejects;
+      const lint::Baseline base =
+          lint::Baseline::parse(read_file(baseline_path), &rejects);
+      for (const std::string& r : rejects) {
+        std::fprintf(stderr, "scap_lint: %s: unparseable baseline line '%s'\n",
+                     baseline_path.c_str(), r.c_str());
+      }
+      lint::apply_baseline(rep, base);
     }
 
     std::string text;
