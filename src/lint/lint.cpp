@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 
 namespace scap::lint {
 
@@ -50,7 +51,7 @@ LintReport run(const Netlist& nl, const LintConfig& cfg) {
 
 bool lint_enabled() {
   // Read-only env probe; callers are single-threaded verify/CLI paths.
-  if (const char* e = std::getenv("SCAP_LINT")) {  // NOLINT(concurrency-mt-unsafe)
+  if (const char* e = util::env_cstr("SCAP_LINT")) {
     return !(e[0] == '0' && e[1] == '\0');
   }
 #ifdef NDEBUG

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "util/env.h"
 
 namespace scap::obs {
 
@@ -195,7 +196,7 @@ bool write_file(const std::string& path, std::string_view contents) {
 std::string bench_artifact_path(std::string_view bench_name) {
   std::string dir;
   // Artifact emission is a main-thread epilogue; env is never written.
-  if (const char* env = std::getenv("SCAP_METRICS_DIR")) {  // NOLINT(concurrency-mt-unsafe)
+  if (const char* env = util::env_cstr("SCAP_METRICS_DIR")) {
     if (env[0] != '\0') dir = env;
   }
   std::string path;

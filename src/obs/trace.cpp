@@ -5,9 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <mutex>
+#include <system_error>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace scap::obs {
 
@@ -115,20 +118,30 @@ const EnvInit g_env_init;
 
 }  // namespace
 
+std::string default_trace_path() {
+  std::error_code ec;
+  const std::filesystem::path exe =
+      std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec || !exe.has_parent_path()) return "scap_trace.json";
+  return (exe.parent_path() / "scap_trace.json").string();
+}
+
 ObsConfig config_from_env() {
   ObsConfig cfg;
   // Static-init-time reads; nothing mutates the environment.
-  if (const char* env = std::getenv("SCAP_TRACE")) {  // NOLINT(concurrency-mt-unsafe)
+  if (const char* env = util::env_cstr("SCAP_TRACE")) {
     if (std::strcmp(env, "0") != 0 && env[0] != '\0') {
       cfg.trace = true;
       cfg.dump_trace_at_exit = true;
-      if (std::strcmp(env, "1") != 0) cfg.trace_path = env;
+      // SCAP_TRACE=1 routes next to the binary; an explicit path wins.
+      cfg.trace_path =
+          std::strcmp(env, "1") == 0 ? default_trace_path() : env;
     }
   }
-  if (const char* env = std::getenv("SCAP_METRICS")) {  // NOLINT(concurrency-mt-unsafe)
+  if (const char* env = util::env_cstr("SCAP_METRICS")) {
     cfg.metrics = std::strcmp(env, "0") != 0 && env[0] != '\0';
   }
-  if (const char* env = std::getenv("SCAP_PROF")) {  // NOLINT(concurrency-mt-unsafe)
+  if (const char* env = util::env_cstr("SCAP_PROF")) {
     cfg.prof = std::strcmp(env, "0") != 0 && env[0] != '\0';
   }
   return cfg;

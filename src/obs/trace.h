@@ -10,7 +10,8 @@
 //    artifacts their per-phase wall times. On by default.
 //
 // Environment:
-//   SCAP_TRACE=1        enable tracing, dump scap_trace.json at process exit
+//   SCAP_TRACE=1        enable tracing, dump scap_trace.json next to the
+//                       running binary (never the invocation cwd) at exit
 //   SCAP_TRACE=<path>   enable tracing, dump to <path> at process exit
 //   SCAP_METRICS=0      disable counters/gauges/timers (default: enabled)
 //   SCAP_PROF=1         enable the scheduler profiler (obs/prof.h; default off)
@@ -32,6 +33,13 @@ struct ObsConfig {
   bool dump_trace_at_exit = false;
   std::string trace_path = "scap_trace.json";
 };
+
+/// Where SCAP_TRACE=1 dumps land: "scap_trace.json" next to the running
+/// executable (the build tree), never the invocation cwd, so running a tool
+/// from a source checkout does not strand trace files there. Falls back to
+/// the bare filename if the executable path cannot be resolved. An explicit
+/// SCAP_TRACE=<path> always wins.
+std::string default_trace_path();
 
 /// Parse SCAP_TRACE / SCAP_METRICS from the environment (applied once at
 /// startup by the library itself; exposed for tests).

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/prof.h"
 #include "obs/trace.h"
+#include "util/env.h"
 
 namespace scap::rt {
 
@@ -14,14 +15,21 @@ namespace {
 
 thread_local bool tl_on_worker = false;
 
+// SCAP_THREADS is sampled exactly once, the first time any caller needs the
+// default concurrency (normally the first ThreadPool::global() call, i.e.
+// process startup). Long-lived processes such as the serve daemon therefore
+// have a thread count fixed at startup: later environment mutation -- or a
+// set_global_concurrency(0) reset -- cannot change it.
 std::size_t env_concurrency() {
-  // Read once while single-threaded (first pool construction).
-  if (const char* env = std::getenv("SCAP_THREADS")) {  // NOLINT(concurrency-mt-unsafe)
-    const long n = std::atol(env);
-    if (n >= 1) return std::min<std::size_t>(static_cast<std::size_t>(n), 256);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw ? hw : 1;
+  static const std::size_t cached = [] {
+    if (const char* env = util::env_cstr("SCAP_THREADS")) {
+      const long n = std::atol(env);
+      if (n >= 1) return std::min<std::size_t>(static_cast<std::size_t>(n), 256);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<std::size_t>(hw ? hw : 1);
+  }();
+  return cached;
 }
 
 std::mutex g_global_mu;

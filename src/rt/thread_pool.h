@@ -15,7 +15,8 @@
 // count.
 //
 // Environment:
-//   SCAP_THREADS=N   total concurrency (default: hardware threads)
+//   SCAP_THREADS=N   total concurrency (default: hardware threads); read
+//                    once at startup and cached for the process lifetime
 //
 // Observability: counters rt.jobs / rt.chunks / rt.tasks / rt.steals /
 // rt.steal_attempts, gauge rt.queue_depth (sampled at submit), span timer
@@ -62,14 +63,17 @@ class ThreadPool {
   void run_chunked(std::size_t n_chunks,
                    const std::function<void(std::size_t)>& body);
 
-  /// Lazily constructed process-wide pool (SCAP_THREADS / hardware threads).
-  /// Returned as shared_ptr so set_global_concurrency can swap the instance
-  /// while stragglers finish against the old one.
+  /// Lazily constructed process-wide pool. Its default concurrency comes from
+  /// a single SCAP_THREADS read cached at first use -- the value is fixed for
+  /// the life of the process. Returned as shared_ptr so
+  /// set_global_concurrency can swap the instance while stragglers finish
+  /// against the old one.
   static std::shared_ptr<ThreadPool> global();
 
-  /// Rebuild the global pool at the given concurrency (0 = re-read
-  /// SCAP_THREADS / hardware). For tests and bench sweeps; callers must be
-  /// quiescent (no parallel region in flight).
+  /// Rebuild the global pool at the given concurrency (0 = restore the
+  /// startup-cached SCAP_THREADS / hardware default; the environment is NOT
+  /// re-read). For tests and bench sweeps; callers must be quiescent (no
+  /// parallel region in flight).
   static void set_global_concurrency(std::size_t concurrency);
 
   /// True on a pool worker thread (used to serialize nested regions).

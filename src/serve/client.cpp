@@ -1,0 +1,117 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace scap::serve {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client Client::connect_unix(const std::string& path, std::string* err) {
+  Client c;
+  c.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (c.fd_ < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return c;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    if (err) *err = "unix path too long";
+    c.close();
+    return c;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(c.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (err) *err = "connect(" + path + "): " + std::strerror(errno);
+    c.close();
+  }
+  return c;
+}
+
+Client Client::connect_tcp(const std::string& host, int port,
+                           std::string* err) {
+  Client c;
+  c.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (c.fd_ < 0) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return c;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (err) *err = "bad address " + host;
+    c.close();
+    return c;
+  }
+  if (::connect(c.fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    if (err) *err = "connect(" + host + "): " + std::strerror(errno);
+    c.close();
+  }
+  return c;
+}
+
+bool Client::call(const Request& req, Reply* out, std::string* err) {
+  if (fd_ < 0) {
+    if (err) *err = "not connected";
+    return false;
+  }
+  const std::vector<std::uint8_t> payload = encode_request(req);
+  if (!write_frame(fd_, req.op, payload)) {
+    if (err) *err = "send failed";
+    return false;
+  }
+  if (!read_reply(out)) {
+    if (err) *err = "connection closed before reply";
+    return false;
+  }
+  return true;
+}
+
+bool Client::send_raw(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::read_reply(Reply* out) {
+  Op op{};
+  std::vector<std::uint8_t> payload;
+  if (read_frame(fd_, &op, &payload) != ReadStatus::kOk) return false;
+  out->op = op;
+  out->payload = std::move(payload);
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace scap::serve

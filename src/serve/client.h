@@ -1,0 +1,48 @@
+// Blocking client for the serve protocol -- used by tools/scap_bench_client,
+// the serve tests, and any in-tree caller that wants screening served from a
+// warm daemon instead of paying design setup in-process.
+//
+// One Client is one connection with strictly request->reply framing; it is
+// NOT thread-safe (the load harness opens one Client per submitter thread,
+// which is also the honest way to generate concurrency against the daemon).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "serve/protocol.h"
+
+namespace scap::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Client connect_unix(const std::string& path, std::string* err);
+  static Client connect_tcp(const std::string& host, int port,
+                            std::string* err);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request and block for its reply (kOk / kBusy / kError all
+  /// come back in *out). False on transport failure.
+  bool call(const Request& req, Reply* out, std::string* err);
+
+  /// Raw access for the framing tests: push arbitrary bytes, then read
+  /// whatever frame (if any) comes back.
+  bool send_raw(std::span<const std::uint8_t> bytes);
+  bool read_reply(Reply* out);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace scap::serve

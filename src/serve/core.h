@@ -1,0 +1,46 @@
+// Transport-independent request execution: the daemon's brain.
+//
+// ServeCore owns the design cache and turns decoded Requests into Replies.
+// execute_batch() is the micro-batching entry point: the dispatcher hands it
+// every request drained from the admission queue in one go, it groups them by
+// design, and each group's screening work is fused into a single fan-out over
+// the rt thread pool with per-shard warm analyzers from the design's
+// workspace pool -- one dispatch serves many clients.
+//
+// Determinism contract (what makes journal replay exact): every reply is a
+// pure per-pattern function of (design recipe, request fields). Screening and
+// profiling results are bit-identical at any SCAP_THREADS (the rt contract),
+// independent of how requests were grouped into batches, which requests
+// shared a dispatch, or what the cache had evicted. replay_journal() re-runs
+// requests one at a time and must reproduce the captured response bytes.
+#pragma once
+
+#include <span>
+
+#include "serve/design_cache.h"
+#include "serve/protocol.h"
+
+namespace scap::serve {
+
+class ServeCore {
+ public:
+  explicit ServeCore(std::size_t max_designs = 4) : cache_(max_designs) {}
+
+  /// Execute one request (a batch of one -- the journal replay path).
+  Reply execute(const Request& req);
+
+  /// Execute a drained batch: out[i] answers *reqs[i]. Never throws; any
+  /// per-request failure becomes a kError reply in its slot.
+  void execute_batch(std::span<const Request* const> reqs,
+                     std::span<Reply> out);
+
+  /// Counter/gauge snapshot as KvDoc text (the kStats reply payload).
+  static Reply stats_reply();
+
+  DesignCache& cache() { return cache_; }
+
+ private:
+  DesignCache cache_;
+};
+
+}  // namespace scap::serve

@@ -1,0 +1,198 @@
+#include "serve/journal.h"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "serve/core.h"
+#include "util/kv.h"
+
+namespace scap::serve {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& s) {
+  if (s.size() % 2 != 0) throw std::runtime_error("journal: odd hex length");
+  std::vector<std::uint8_t> out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = hex_val(s[2 * i]);
+    const int lo = hex_val(s[2 * i + 1]);
+    if (hi < 0 || lo < 0) throw std::runtime_error("journal: bad hex digit");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_record(const JournalRecord& rec) {
+  const Request& q = rec.request;
+  util::KvDoc kv;
+  kv.set_u64("seq", rec.seq);
+  kv.set_u64("op", static_cast<std::uint64_t>(q.op));
+  kv.set_u64("hot_block", q.hot_block);
+  // The exact bit pattern: "%.17g" would round-trip too, but bits make the
+  // byte-identity contract of replay unconditional.
+  kv.set_u64("threshold_bits", std::bit_cast<std::uint64_t>(q.threshold_mw));
+  kv.set_u64("num_vars", q.num_vars);
+  kv.set_u64("num_patterns", q.patterns.size());
+  kv.set("patterns", to_hex(pack_patterns(q.patterns, q.num_vars)));
+  // The design recipe is itself a KvDoc; flatten its entries under a
+  // "design." prefix so the record stays one flat line-oriented document.
+  const util::KvDoc design = util::KvDoc::parse(q.design);
+  for (const auto& [k, v] : design.entries()) kv.set("design." + k, v);
+  kv.set_u64("resp_op", static_cast<std::uint64_t>(rec.resp_op));
+  kv.set_u64("resp_len", rec.resp_len);
+  kv.set_u64("resp_crc", rec.resp_crc);
+  return kv.to_string();
+}
+
+JournalRecord parse_record(const std::string& text) {
+  const util::KvDoc kv = util::KvDoc::parse(text);
+  JournalRecord rec;
+  rec.seq = kv.get_u64("seq", 0);
+  rec.request.op = static_cast<Op>(kv.get_u64("op", 0));
+  rec.request.hot_block =
+      static_cast<std::uint32_t>(kv.get_u64("hot_block", 0));
+  rec.request.threshold_mw =
+      std::bit_cast<double>(kv.get_u64("threshold_bits", 0));
+  rec.request.num_vars = static_cast<std::uint32_t>(kv.get_u64("num_vars", 0));
+  const std::uint64_t n = kv.get_u64("num_patterns", 0);
+  if (n > kMaxPatterns || rec.request.num_vars > kMaxVars) {
+    throw std::runtime_error("journal: pattern dimensions above limits");
+  }
+  const std::vector<std::uint8_t> bits = from_hex(kv.get("patterns"));
+  const std::size_t need =
+      static_cast<std::size_t>(n) * pattern_stride(rec.request.num_vars);
+  if (bits.size() != need) {
+    throw std::runtime_error("journal: pattern bits size mismatch");
+  }
+  rec.request.patterns = unpack_patterns(
+      bits, static_cast<std::size_t>(n), rec.request.num_vars);
+  util::KvDoc design;
+  for (const auto& [k, v] : kv.entries()) {
+    if (k.rfind("design.", 0) == 0) design.set(k.substr(7), v);
+  }
+  rec.request.design = design.to_string();
+  rec.resp_op = static_cast<Op>(kv.get_u64("resp_op", 0));
+  rec.resp_len = static_cast<std::uint32_t>(kv.get_u64("resp_len", 0));
+  rec.resp_crc = kv.get_u64("resp_crc", 0);
+  return rec;
+}
+
+struct JournalWriter::Impl {
+  std::ofstream os;
+};
+
+JournalWriter::JournalWriter(const std::string& path) : impl_(new Impl) {
+  impl_->os.open(path, std::ios::app);
+  ok_ = impl_->os.good();
+}
+
+JournalWriter::~JournalWriter() {
+  flush();
+  delete impl_;
+}
+
+void JournalWriter::append(const Request& req, const Reply& reply) {
+  if (!ok_) return;
+  JournalRecord rec;
+  rec.seq = seq_++;
+  rec.request = req;
+  rec.resp_op = reply.op;
+  rec.resp_len = static_cast<std::uint32_t>(reply.payload.size());
+  rec.resp_crc = fnv1a64(reply.payload);
+  const std::string text = serialize_record(rec);
+  impl_->os << text << "\n";  // records end with a blank line
+  obs::count("serve.journal_bytes", text.size() + 1);
+  ok_ = impl_->os.good();
+}
+
+void JournalWriter::flush() {
+  if (impl_->os.is_open()) impl_->os.flush();
+}
+
+std::vector<JournalRecord> read_journal(std::istream& is) {
+  std::vector<JournalRecord> out;
+  std::string line;
+  std::string block;
+  const auto finish = [&] {
+    if (block.empty()) return;
+    out.push_back(parse_record(block));
+    block.clear();
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      finish();
+    } else {
+      block += line;
+      block += '\n';
+    }
+  }
+  finish();
+  return out;
+}
+
+std::vector<JournalRecord> read_journal_file(const std::string& path,
+                                             std::string* err) {
+  std::ifstream is(path);
+  if (!is) {
+    if (err) *err = "cannot open " + path;
+    return {};
+  }
+  try {
+    return read_journal(is);
+  } catch (const std::exception& e) {
+    if (err) *err = e.what();
+    return {};
+  }
+}
+
+ReplayResult replay_journal(std::span<const JournalRecord> records,
+                            ServeCore& core) {
+  ReplayResult res;
+  for (const JournalRecord& rec : records) {
+    ++res.records;
+    const Reply fresh = core.execute(rec.request);
+    const bool match = fresh.op == rec.resp_op &&
+                       fresh.payload.size() == rec.resp_len &&
+                       fnv1a64(fresh.payload) == rec.resp_crc;
+    if (!match) {
+      ++res.mismatches;
+      if (res.detail.empty()) {
+        std::ostringstream ss;
+        ss << "seq " << rec.seq << " (" << op_name(rec.request.op)
+           << "): journaled op=" << static_cast<int>(rec.resp_op)
+           << " len=" << rec.resp_len << " crc=" << rec.resp_crc
+           << ", replay op=" << static_cast<int>(fresh.op)
+           << " len=" << fresh.payload.size()
+           << " crc=" << fnv1a64(fresh.payload);
+        res.detail = ss.str();
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace scap::serve

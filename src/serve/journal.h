@@ -1,0 +1,82 @@
+// Request journal: every compute request the daemon executes, with a
+// checksum of the response it produced, as append-only KvDoc records.
+//
+// One record per request, records separated by a blank line, fields in
+// "key value" lines (util/kv.h -- the same substrate as the fuzz corpus).
+// The design recipe is embedded with a "design." key prefix per entry, the
+// pattern bits as hex, and the threshold as the exact u64 bit pattern of the
+// double, so a record is a byte-exact, self-contained reproduction of the
+// request.
+//
+// Replay contract: replay_journal() re-executes each record serially through
+// a fresh ServeCore and compares (opcode, length, FNV-1a) of the fresh
+// response against the journaled one. Because replies are pure per-pattern
+// functions of the request (serve/core.h), replay must match bit-for-bit
+// regardless of the original batching, thread count, or cache eviction
+// history -- a mismatch means nondeterminism and is a bug.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace scap::serve {
+
+class ServeCore;
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  Request request;
+  Op resp_op = Op::kOk;
+  std::uint32_t resp_len = 0;
+  std::uint64_t resp_crc = 0;  ///< fnv1a64 of the response payload
+};
+
+std::string serialize_record(const JournalRecord& rec);
+/// Throws std::runtime_error on malformed record text.
+JournalRecord parse_record(const std::string& text);
+
+/// Append-only journal file. Not internally thread-safe: the single
+/// dispatcher thread is the only writer.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::string& path);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  void append(const Request& req, const Reply& reply);
+  /// Flush to the OS (called once per drained batch and at shutdown).
+  void flush();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::uint64_t seq_ = 0;
+  bool ok_ = false;
+};
+
+/// Parse a whole journal stream (blank-line separated records). Throws on
+/// malformed input.
+std::vector<JournalRecord> read_journal(std::istream& is);
+std::vector<JournalRecord> read_journal_file(const std::string& path,
+                                             std::string* err);
+
+struct ReplayResult {
+  std::size_t records = 0;
+  std::size_t mismatches = 0;
+  std::string detail;  ///< first mismatch description
+  bool ok() const { return mismatches == 0; }
+};
+
+/// Re-execute every record through `core` (serially, in journal order) and
+/// verify each response matches the journaled opcode/length/checksum.
+ReplayResult replay_journal(std::span<const JournalRecord> records,
+                            ServeCore& core);
+
+}  // namespace scap::serve

@@ -1,0 +1,317 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scap::serve {
+
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Server::Conn::~Conn() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)), core_(opt_.max_designs) {
+  if (opt_.batch_max == 0) opt_.batch_max = 1;
+  if (opt_.queue_capacity == 0) opt_.queue_capacity = 1;
+}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  const auto fail = [&](const std::string& what) {
+    if (err) *err = what + ": " + std::strerror(errno);
+    close_fd(unix_fd_);
+    close_fd(tcp_fd_);
+    close_fd(wake_pipe_[0]);
+    close_fd(wake_pipe_[1]);
+    return false;
+  };
+  if (started_) {
+    if (err) *err = "already started";
+    return false;
+  }
+  if (opt_.unix_path.empty() && opt_.tcp_port < 0) {
+    if (err) *err = "no listener configured (need unix_path or tcp_port)";
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) return fail("pipe");
+
+  if (!opt_.unix_path.empty()) {
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) return fail("socket(unix)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opt_.unix_path.size() >= sizeof addr.sun_path) {
+      if (err) *err = "unix_path too long";
+      close_fd(unix_fd_);
+      close_fd(wake_pipe_[0]);
+      close_fd(wake_pipe_[1]);
+      return false;
+    }
+    std::strncpy(addr.sun_path, opt_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(opt_.unix_path.c_str());  // stale socket from a crashed run
+    if (::bind(unix_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind(" + opt_.unix_path + ")");
+    }
+    if (::listen(unix_fd_, 128) != 0) return fail("listen(unix)");
+  }
+
+  if (opt_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) return fail("socket(tcp)");
+    const int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(opt_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind(tcp)");
+    }
+    if (::listen(tcp_fd_, 128) != 0) return fail("listen(tcp)");
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&bound), &blen) ==
+        0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (!opt_.journal_path.empty()) {
+    journal_ = std::make_unique<JournalWriter>(opt_.journal_path);
+    if (!journal_->ok()) {
+      if (err) *err = "cannot open journal " + opt_.journal_path;
+      close_fd(unix_fd_);
+      close_fd(tcp_fd_);
+      close_fd(wake_pipe_[0]);
+      close_fd(wake_pipe_[1]);
+      return false;
+    }
+  }
+
+  started_ = true;
+  accepting_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_main(); });
+  dispatcher_thread_ = std::thread([this] { dispatcher_main(); });
+  return true;
+}
+
+void Server::accept_main() {
+  while (accepting_.load(std::memory_order_acquire)) {
+    pollfd fds[3];
+    nfds_t n = 0;
+    fds[n++] = pollfd{wake_pipe_[0], POLLIN, 0};
+    if (unix_fd_ >= 0) fds[n++] = pollfd{unix_fd_, POLLIN, 0};
+    if (tcp_fd_ >= 0) fds[n++] = pollfd{tcp_fd_, POLLIN, 0};
+    if (::poll(fds, n, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!accepting_.load(std::memory_order_acquire)) break;
+    for (nfds_t i = 1; i < n; ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      const int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      obs::count("serve.accepted");
+      auto conn = std::make_shared<Conn>();
+      conn->fd = cfd;
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.emplace_back(conn, std::thread([this, conn] {
+                            reader_main(conn);
+                          }));
+    }
+  }
+}
+
+void Server::reader_main(std::shared_ptr<Conn> conn) {
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    Op op{};
+    const ReadStatus st = read_frame(conn->fd, &op, &payload);
+    if (st == ReadStatus::kEof || st == ReadStatus::kTruncated ||
+        st == ReadStatus::kIoError) {
+      break;
+    }
+    if (st == ReadStatus::kBadMagic || st == ReadStatus::kOversized) {
+      // The stream is unframed from here on: answer once and hang up.
+      send_reply(*conn, make_error(st == ReadStatus::kBadMagic
+                                       ? ErrCode::kBadFrame
+                                       : ErrCode::kOversized,
+                                   st == ReadStatus::kBadMagic
+                                       ? "bad frame magic"
+                                       : "payload length above limit"));
+      break;
+    }
+    if (op == Op::kPing) {
+      send_reply(*conn, Reply{Op::kOk, payload});
+      continue;
+    }
+    if (op == Op::kStats) {
+      send_reply(*conn, ServeCore::stats_reply());
+      continue;
+    }
+    if (!is_compute_op(op)) {
+      send_reply(*conn, make_error(ErrCode::kUnknownOp, "unknown opcode"));
+      continue;
+    }
+    Request req;
+    std::string derr;
+    if (!decode_request(op, payload, &req, &derr)) {
+      send_reply(*conn, make_error(ErrCode::kBadRequest, derr));
+      continue;
+    }
+    if (!enqueue(conn, std::move(req))) {
+      obs::count("serve.busy_rejected");
+      send_reply(*conn, Reply{Op::kBusy, {}});
+    }
+  }
+  // Reap our own entry so a long-lived daemon does not accumulate one fd +
+  // thread handle per finished connection (and so a framing-error hang-up
+  // actually closes the socket). If stop() already took the entry, it owns
+  // the join and we leave everything to it. Dropping the shared_ptr closes
+  // the fd once any pending dispatcher replies have been sent.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end(); ++it) {
+    if (it->first.get() == conn.get()) {
+      it->second.detach();  // this very thread; it exits right after this
+      conns_.erase(it);
+      break;
+    }
+  }
+}
+
+bool Server::enqueue(std::shared_ptr<Conn> conn, Request req) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (queue_.size() >= opt_.queue_capacity) return false;
+    queue_.push_back(Pending{std::move(conn), std::move(req)});
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void Server::dispatcher_main() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return draining_ || (!queue_.empty() && !paused_);
+      });
+      // While draining, a test-hook pause is ignored: everything admitted
+      // must still be answered before shutdown completes.
+      if (queue_.empty()) {
+        if (draining_) break;
+        continue;  // spurious wakeup
+      }
+      const std::size_t n = std::min(queue_.size(), opt_.batch_max);
+      batch.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    SCAP_TRACE_SCOPE("serve.batch");
+    obs::observe("serve.batch_size", static_cast<double>(batch.size()));
+    std::vector<const Request*> reqs(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) reqs[i] = &batch[i].req;
+    std::vector<Reply> replies(batch.size());
+    core_.execute_batch(reqs, replies);
+    // Journal first, then respond: a reply a client acted on is always
+    // recoverable from the journal.
+    if (journal_) {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        journal_->append(batch[i].req, replies[i]);
+      }
+      journal_->flush();
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      send_reply(*batch[i].conn, replies[i]);
+    }
+  }
+  if (journal_) journal_->flush();
+}
+
+void Server::send_reply(Conn& conn, const Reply& reply) {
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  (void)write_frame(conn.fd, reply.op, reply.payload);  // dead peer: drop
+}
+
+void Server::pause_dispatch(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+void Server::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+
+  // 1. Stop accepting: wake the poll, join the accept thread, close
+  //    listeners so no connection can arrive afterwards.
+  accepting_.store(false, std::memory_order_release);
+  const char byte = 0;
+  (void)!::write(wake_pipe_[1], &byte, 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(unix_fd_);
+  close_fd(tcp_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+
+  // 2. Unblock every connection reader (recv returns 0 after SHUT_RD) and
+  //    join them: after this no request can be admitted.
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [conn, thread] : conns) ::shutdown(conn->fd, SHUT_RD);
+  for (auto& [conn, thread] : conns) {
+    if (thread.joinable()) thread.join();
+  }
+
+  // 3. Drain: the dispatcher finishes (and journals, and answers) everything
+  //    already admitted, then exits. A test-hook pause is overridden -- a
+  //    paused queue must still drain on shutdown.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    draining_ = true;
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_thread_.joinable()) dispatcher_thread_.join();
+  journal_.reset();  // final flush + close
+
+  // 4. Connections close when their last shared_ptr drops (here, unless a
+  //    client still holds the socket open on its side).
+  conns.clear();
+  if (!opt_.unix_path.empty()) ::unlink(opt_.unix_path.c_str());
+}
+
+}  // namespace scap::serve

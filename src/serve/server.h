@@ -1,0 +1,119 @@
+// The screening daemon: sockets, admission queue, micro-batching dispatcher.
+//
+// Thread model:
+//   - one accept thread polling the Unix-domain / TCP listeners,
+//   - one reader thread per connection (blocking frame reads; ping and stats
+//     are answered inline, compute requests go through the admission queue),
+//   - ONE dispatcher thread that drains the queue in batches of up to
+//     batch_max requests and hands each batch to ServeCore::execute_batch,
+//     which fans the fused work out over the rt thread pool. A single
+//     dispatcher is deliberate: the parallelism lives inside the batch, so
+//     concurrent clients coalesce instead of competing.
+//
+// Backpressure is explicit and bounded: a compute request arriving when the
+// queue holds queue_capacity entries is answered kBusy immediately -- the
+// daemon never buffers unboundedly and never blocks a reader on the queue.
+//
+// Shutdown (stop(), run by the CLI's SIGTERM handler) drains rather than
+// aborts: stop accepting, shut down connection reads, join the readers (no
+// new work can arrive), then let the dispatcher finish everything already
+// admitted, flush the journal, and close. Every admitted request is answered
+// and journaled.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/core.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+
+namespace scap::serve {
+
+struct ServerOptions {
+  std::string unix_path;  ///< empty = no Unix-domain listener
+  int tcp_port = -1;      ///< -1 = no TCP listener; 0 = ephemeral (loopback)
+  std::size_t max_designs = 4;
+  std::size_t queue_capacity = 256;
+  std::size_t batch_max = 64;
+  std::string journal_path;  ///< empty = no journal
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the threads. False (with *err) on any failure.
+  bool start(std::string* err);
+
+  /// Graceful drain; idempotent, safe to call from a signal-waiting thread.
+  void stop();
+
+  /// Actual TCP port after start() (for tcp_port = 0); -1 when no TCP.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  /// Test hook: while paused the dispatcher leaves the queue untouched, so a
+  /// test can fill it to capacity and observe kBusy backpressure
+  /// deterministically.
+  void pause_dispatch(bool paused);
+
+  ServeCore& core() { return core_; }
+
+ private:
+  /// One client connection. The reader thread owns fd reads; replies from
+  /// reader (inline ping/stats/errors) and dispatcher interleave under
+  /// write_mu. The fd closes when the last holder drops the shared_ptr, so
+  /// writing a drained reply after the reader exited (shutdown path) is safe;
+  /// a peer that already hung up just makes the write fail (MSG_NOSIGNAL).
+  struct Conn {
+    int fd = -1;
+    std::mutex write_mu;
+    ~Conn();
+  };
+
+  struct Pending {
+    std::shared_ptr<Conn> conn;
+    Request req;
+  };
+
+  void accept_main();
+  void reader_main(std::shared_ptr<Conn> conn);
+  void dispatcher_main();
+  void send_reply(Conn& conn, const Reply& reply);
+  bool enqueue(std::shared_ptr<Conn> conn, Request req);
+
+  ServerOptions opt_;
+  ServeCore core_;
+  std::unique_ptr<JournalWriter> journal_;
+
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< unblocks the accept poll on stop()
+
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::pair<std::shared_ptr<Conn>, std::thread>> conns_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;       // guarded by queue_mu_
+  bool paused_ = false;             // guarded by queue_mu_
+  bool draining_ = false;           // guarded by queue_mu_
+  std::atomic<bool> accepting_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace scap::serve

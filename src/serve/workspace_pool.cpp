@@ -1,0 +1,33 @@
+#include "serve/workspace_pool.h"
+
+#include "obs/metrics.h"
+
+namespace scap::serve {
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      auto a = std::move(free_.back());
+      free_.pop_back();
+      obs::count("serve.workspace.reused");
+      return Lease(this, std::move(a));
+    }
+  }
+  // Construction outside the lock: shards warming in parallel must not
+  // serialize on the freelist mutex.
+  obs::count("serve.workspace.created");
+  return Lease(this, std::make_unique<PatternAnalyzer>(*soc_, *lib_));
+}
+
+std::size_t WorkspacePool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+void WorkspacePool::release(std::unique_ptr<PatternAnalyzer> a) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(a));
+}
+
+}  // namespace scap::serve

@@ -1,0 +1,23 @@
+// Single point of environment access for one-time configuration reads.
+//
+// Every SCAP_* switch (SCAP_THREADS, SCAP_TRACE, SCAP_METRICS, SCAP_PROF,
+// SCAP_METRICS_DIR, ...) is read exactly once, during process or subsystem
+// startup, and the library never calls setenv/putenv. Funneling the getenv
+// calls through this helper keeps the one concurrency-mt-unsafe call site --
+// and its justification -- in one place instead of scattering per-call-site
+// NOLINTs through the codebase.
+#pragma once
+
+#include <cstdlib>
+
+namespace scap::util {
+
+/// One-shot read of a configuration environment variable. Safe despite
+/// getenv's thread-compatibility caveats because nothing in the process
+/// mutates the environment, and every caller samples its variable once at
+/// startup and caches the result.
+inline const char* env_cstr(const char* name) noexcept {
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe) -- see header comment
+}
+
+}  // namespace scap::util

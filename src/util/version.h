@@ -1,0 +1,10 @@
+// Library version string, reported by every CLI's --version flag (CI asserts
+// the flag exits 0 for each tool, so a broken argument parser is caught even
+// before any functional test runs).
+#pragma once
+
+namespace scap {
+
+inline constexpr const char* kVersion = "0.8.0";
+
+}  // namespace scap

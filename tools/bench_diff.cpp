@@ -36,6 +36,7 @@
 #include "obs/bench_compare.h"
 #include "obs/json.h"
 #include "obs/report.h"
+#include "util/version.h"
 
 namespace {
 
@@ -109,6 +110,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       write_baseline_path = v;
+    } else if (arg == "--version") {
+      std::printf("bench_diff %s\n", scap::kVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
     } else {
       return usage(argv[0]);
     }

@@ -24,6 +24,7 @@
 #include "obs/json.h"
 #include "soc/generator.h"
 #include "util/stats.h"
+#include "util/version.h"
 
 namespace {
 
@@ -147,6 +148,9 @@ int main(int argc, char** argv) {
       format = value();
     } else if (arg == "--output") {
       output_path = value();
+    } else if (arg == "--version") {
+      std::printf("scap_analyze %s\n", scap::kVersion);
+      return 0;
     } else if (arg == "-h" || arg == "--help") {
       usage(argv[0]);
       return 0;

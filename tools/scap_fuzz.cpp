@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ref/fuzz.h"
+#include "util/version.h"
 
 namespace {
 
@@ -110,6 +111,9 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--self-test") {
         self_test = true;
+      } else if (arg == "--version") {
+        std::cout << "scap_fuzz " << scap::kVersion << "\n";
+        return 0;
       } else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
         return 0;

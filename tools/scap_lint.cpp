@@ -22,6 +22,7 @@
 #include "lint/lint.h"
 #include "netlist/verilog.h"
 #include "soc/generator.h"
+#include "util/version.h"
 
 namespace {
 
@@ -112,6 +113,9 @@ int main(int argc, char** argv) {
       write_baseline_path = value();
     } else if (arg == "--list-rules") {
       list_rules();
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("scap_lint %s\n", scap::kVersion);
       return 0;
     } else if (arg == "-h" || arg == "--help") {
       usage(argv[0]);

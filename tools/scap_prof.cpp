@@ -38,6 +38,7 @@
 #include "power/dynamic_ir.h"
 #include "rt/parallel.h"
 #include "sim/logic_sim.h"
+#include "util/version.h"
 
 namespace {
 
@@ -94,6 +95,12 @@ int main(int argc, char** argv) {
       out_dir = v;
     } else if (arg == "--overhead") {
       overhead = true;
+    } else if (arg == "--version") {
+      std::printf("scap_prof %s\n", scap::kVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
     } else {
       return usage(argv[0]);
     }
