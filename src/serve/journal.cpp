@@ -1,6 +1,8 @@
 #include "serve/journal.h"
 
 #include <bit>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -106,6 +108,23 @@ struct JournalWriter::Impl {
 };
 
 JournalWriter::JournalWriter(const std::string& path) : impl_(new Impl) {
+  // The journal is append-only across restarts; continue the sequence from
+  // whatever is already on disk so seq stays unique within one file (a
+  // restarted daemon must not emit duplicate seq numbers -- they are how
+  // replay mismatches are reported).
+  {
+    std::ifstream is(path);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.rfind("seq ", 0) != 0) continue;
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(line.c_str() + 4, &end, 10);
+      if (end != nullptr && *end == '\0' && errno == 0 && v >= seq_) {
+        seq_ = v + 1;
+      }
+    }
+  }
   impl_->os.open(path, std::ios::app);
   ok_ = impl_->os.good();
 }
@@ -123,7 +142,16 @@ void JournalWriter::append(const Request& req, const Reply& reply) {
   rec.resp_op = reply.op;
   rec.resp_len = static_cast<std::uint32_t>(reply.payload.size());
   rec.resp_crc = fnv1a64(reply.payload);
-  const std::string text = serialize_record(rec);
+  std::string text;
+  try {
+    text = serialize_record(rec);
+  } catch (const std::exception&) {
+    // Unreachable for admitted requests (decode_request validates the design
+    // parses as KvDoc), but a throw here runs on the dispatcher thread with
+    // no handler above it -- skipping the record beats killing the daemon.
+    obs::count("serve.journal_skipped");
+    return;
+  }
   impl_->os << text << "\n";  // records end with a blank line
   obs::count("serve.journal_bytes", text.size() + 1);
   ok_ = impl_->os.good();

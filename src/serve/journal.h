@@ -40,8 +40,10 @@ std::string serialize_record(const JournalRecord& rec);
 /// Throws std::runtime_error on malformed record text.
 JournalRecord parse_record(const std::string& text);
 
-/// Append-only journal file. Not internally thread-safe: the single
-/// dispatcher thread is the only writer.
+/// Append-only journal file. Opening an existing journal continues its
+/// sequence numbers (seq stays unique within one file across daemon
+/// restarts). Not internally thread-safe: the single dispatcher thread is
+/// the only writer.
 class JournalWriter {
  public:
   explicit JournalWriter(const std::string& path);

@@ -7,6 +7,9 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <stdexcept>
+
+#include "util/kv.h"
 
 namespace scap::serve {
 
@@ -103,6 +106,16 @@ bool decode_request(Op op, std::span<const std::uint8_t> payload, Request* out,
   out->num_vars = r.u32();
   if (!r.ok()) return fail(err, "truncated request header");
   if (out->design.empty()) return fail(err, "empty design recipe");
+  // The design must be a well-formed KvDoc: everything downstream -- the
+  // cache key, Scenario::parse, and above all the journal's "design."-prefix
+  // flattening (which would otherwise throw inside the dispatcher) -- assumes
+  // it parses. Reject malformed text here so it is never admitted.
+  try {
+    (void)util::KvDoc::parse(out->design);
+  } catch (const std::exception& e) {
+    if (err) *err = std::string("design recipe is not a KvDoc: ") + e.what();
+    return false;
+  }
   if (n > kMaxPatterns) return fail(err, "pattern count above limit");
   if (out->num_vars == 0 || out->num_vars > kMaxVars) {
     return fail(err, "bad num_vars");

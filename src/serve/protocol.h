@@ -95,7 +95,9 @@ struct Reply {
 std::vector<std::uint8_t> encode_request(const Request& req);
 
 /// Decode a request payload for `op`. Returns false (with a message in *err)
-/// on any malformed input; never throws, never over-reads.
+/// on any malformed input -- including a design recipe that is not parseable
+/// KvDoc text, so admitted requests are always journalable; never throws,
+/// never over-reads.
 bool decode_request(Op op, std::span<const std::uint8_t> payload, Request* out,
                     std::string* err);
 

@@ -24,6 +24,13 @@ void close_fd(int& fd) {
   }
 }
 
+/// In-memory footprint of an admitted request: what the queue byte bound
+/// accounts (unpacked pattern bytes dominate; the wire form is ~8x smaller).
+std::size_t decoded_cost(const Request& req) {
+  return req.design.size() + req.blob.size() +
+         req.patterns.size() * (sizeof(Pattern) + req.num_vars);
+}
+
 }  // namespace
 
 Server::Conn::~Conn() {
@@ -39,12 +46,19 @@ Server::Server(ServerOptions opt)
 Server::~Server() { stop(); }
 
 bool Server::start(std::string* err) {
-  const auto fail = [&](const std::string& what) {
-    if (err) *err = what + ": " + std::strerror(errno);
+  bool unix_bound = false;
+  const auto cleanup = [&] {
     close_fd(unix_fd_);
     close_fd(tcp_fd_);
     close_fd(wake_pipe_[0]);
     close_fd(wake_pipe_[1]);
+    // bind() created the socket file; a failed start must not strand it on
+    // disk (stop() never runs when start() returns false).
+    if (unix_bound) ::unlink(opt_.unix_path.c_str());
+  };
+  const auto fail = [&](const std::string& what) {
+    if (err) *err = what + ": " + std::strerror(errno);
+    cleanup();
     return false;
   };
   if (started_) {
@@ -64,9 +78,7 @@ bool Server::start(std::string* err) {
     addr.sun_family = AF_UNIX;
     if (opt_.unix_path.size() >= sizeof addr.sun_path) {
       if (err) *err = "unix_path too long";
-      close_fd(unix_fd_);
-      close_fd(wake_pipe_[0]);
-      close_fd(wake_pipe_[1]);
+      cleanup();
       return false;
     }
     std::strncpy(addr.sun_path, opt_.unix_path.c_str(),
@@ -76,6 +88,7 @@ bool Server::start(std::string* err) {
                sizeof addr) != 0) {
       return fail("bind(" + opt_.unix_path + ")");
     }
+    unix_bound = true;
     if (::listen(unix_fd_, 128) != 0) return fail("listen(unix)");
   }
 
@@ -105,10 +118,8 @@ bool Server::start(std::string* err) {
     journal_ = std::make_unique<JournalWriter>(opt_.journal_path);
     if (!journal_->ok()) {
       if (err) *err = "cannot open journal " + opt_.journal_path;
-      close_fd(unix_fd_);
-      close_fd(tcp_fd_);
-      close_fd(wake_pipe_[0]);
-      close_fd(wake_pipe_[1]);
+      journal_.reset();
+      cleanup();
       return false;
     }
   }
@@ -205,9 +216,17 @@ void Server::reader_main(std::shared_ptr<Conn> conn) {
 }
 
 bool Server::enqueue(std::shared_ptr<Conn> conn, Request req) {
+  const std::size_t cost = decoded_cost(req);
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (queue_.size() >= opt_.queue_capacity) return false;
+    // Also bound the queue's decoded bytes: capacity alone would let clients
+    // park queue_capacity x (8x-unpacked max frame) of pattern data. An
+    // empty queue always admits so a single over-budget request still runs.
+    if (!queue_.empty() && queue_bytes_ + cost > opt_.queue_max_bytes) {
+      return false;
+    }
+    queue_bytes_ += cost;
     queue_.push_back(Pending{std::move(conn), std::move(req)});
   }
   queue_cv_.notify_one();
@@ -231,6 +250,7 @@ void Server::dispatcher_main() {
       const std::size_t n = std::min(queue_.size(), opt_.batch_max);
       batch.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
+        queue_bytes_ -= decoded_cost(queue_.front().req);
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }

@@ -11,8 +11,11 @@
 //     concurrent clients coalesce instead of competing.
 //
 // Backpressure is explicit and bounded: a compute request arriving when the
-// queue holds queue_capacity entries is answered kBusy immediately -- the
-// daemon never buffers unboundedly and never blocks a reader on the queue.
+// queue holds queue_capacity entries -- or when admitting it would push the
+// queue's total decoded size past queue_max_bytes (unpacked patterns are ~8x
+// their wire size, so an entry count alone bounds nothing) -- is answered
+// kBusy immediately. The daemon never buffers unboundedly and never blocks a
+// reader on the queue.
 //
 // Shutdown (stop(), run by the CLI's SIGTERM handler) drains rather than
 // aborts: stop accepting, shut down connection reads, join the readers (no
@@ -41,6 +44,11 @@ struct ServerOptions {
   int tcp_port = -1;      ///< -1 = no TCP listener; 0 = ephemeral (loopback)
   std::size_t max_designs = 4;
   std::size_t queue_capacity = 256;
+  /// Cap on the summed decoded size (pattern bytes + design text) of queued
+  /// requests; a request that would exceed it is answered kBusy unless the
+  /// queue is empty (an empty queue always admits, so one oversized request
+  /// can never be starved forever).
+  std::size_t queue_max_bytes = 256u << 20;
   std::size_t batch_max = 64;
   std::string journal_path;  ///< empty = no journal
 };
@@ -109,6 +117,7 @@ class Server {
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;       // guarded by queue_mu_
+  std::size_t queue_bytes_ = 0;     // decoded size of queue_; same guard
   bool paused_ = false;             // guarded by queue_mu_
   bool draining_ = false;           // guarded by queue_mu_
   std::atomic<bool> accepting_{false};

@@ -4,6 +4,7 @@
 // live Server end-to-end over real sockets (framing attacks, backpressure,
 // graceful drain).
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 
 #include <chrono>
 #include <cmath>
@@ -238,6 +239,21 @@ TEST(Protocol, DecodeRejectsHostileCounts) {
     w.u32(0);
     w.u32(8);
     EXPECT_FALSE(decode_request(Op::kScreenExact, w.data(), &out, &err));
+  }
+}
+
+// A design recipe that is not parseable KvDoc text must be rejected at
+// decode time: it could otherwise reach the journal's "design." flattening,
+// which throws on the dispatcher thread (daemon-killing, REVIEW issue).
+TEST(Protocol, DecodeRejectsNonKvDocDesign) {
+  Request out;
+  std::string err;
+  for (const char* design : {"garbage", "a 1\nvalueless\n", "dup 1\ndup 2\n"}) {
+    Request req = make_request(Op::kScapProfile);
+    req.design = design;
+    EXPECT_FALSE(
+        decode_request(Op::kScapProfile, encode_request(req), &out, &err))
+        << "design '" << design << "' decoded";
   }
 }
 
@@ -564,6 +580,56 @@ TEST(Journal, ReplayVerifiesAndDetectsCorruption) {
   EXPECT_FALSE(bad.detail.empty());
 }
 
+// Defense in depth behind the decode-time validation: even if an
+// unserializable request somehow reaches the journal, append must swallow
+// the failure (it runs on the dispatcher thread with no handler above it)
+// and keep journaling later requests.
+TEST(Journal, AppendSurvivesUnserializableRequest) {
+  const std::string path =
+      "/tmp/scap_serve_test_" + std::to_string(::getpid()) + "_skip.journal";
+  ::unlink(path.c_str());
+  {
+    JournalWriter w(path);
+    ASSERT_TRUE(w.ok());
+    Request bad = make_request(Op::kScreenStatic);
+    bad.design = "garbage";  // KvDoc line with no value: serialize throws
+    w.append(bad, Reply{Op::kError, {}});
+    EXPECT_TRUE(w.ok());
+    w.append(make_request(Op::kScreenStatic), Reply{Op::kOk, {}});
+  }
+  std::string err;
+  const std::vector<JournalRecord> records = read_journal_file(path, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(records.size(), 1u);  // only the serializable request landed
+  ::unlink(path.c_str());
+}
+
+// Reopening an existing journal must continue its sequence numbers, not
+// restart at 0 -- duplicate seq would make replay mismatch reports ambiguous.
+TEST(Journal, SequenceContinuesAcrossReopen) {
+  const std::string path =
+      "/tmp/scap_serve_test_" + std::to_string(::getpid()) + "_seq.journal";
+  ::unlink(path.c_str());
+  const Request req = make_request(Op::kScreenStatic);
+  {
+    JournalWriter w(path);
+    w.append(req, Reply{Op::kOk, {}});
+    w.append(req, Reply{Op::kOk, {}});
+  }
+  {
+    JournalWriter w(path);  // daemon restart with the same --journal path
+    w.append(req, Reply{Op::kOk, {}});
+  }
+  std::string err;
+  const std::vector<JournalRecord> records = read_journal_file(path, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(records.size(), 3u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].seq, i);
+  }
+  ::unlink(path.c_str());
+}
+
 TEST(Journal, StreamRoundTripThroughText) {
   ServeCore core;
   const Request req = make_request(Op::kScapProfile);
@@ -802,6 +868,105 @@ TEST(Server, MalformedComputePayloadGetsBadRequest) {
   std::string msg;
   ASSERT_TRUE(decode_error(reply.payload, &code, &msg));
   EXPECT_EQ(code, ErrCode::kBadRequest);
+}
+
+// Regression for the daemon-killing REVIEW issue: a compute request whose
+// design text is not KvDoc must bounce with kBadRequest at admission -- it
+// must never be executed, journaled (where serialization would throw on the
+// dispatcher thread), or crash the daemon.
+TEST(Server, NonKvDocDesignRejectedWithoutKillingJournalingDaemon) {
+  const std::string journal_path =
+      "/tmp/scap_serve_test_" + std::to_string(::getpid()) + "_bad.journal";
+  ::unlink(journal_path.c_str());
+  {
+    ServerOptions opt;
+    opt.unix_path = test_socket_path("baddesign");
+    opt.journal_path = journal_path;
+    LiveServer ls(std::move(opt));
+    Client c = ls.connect();
+
+    Request bad = make_request(Op::kScreenStatic);
+    bad.design = "garbage";  // a KvDoc line with no value
+    const std::vector<std::uint8_t> payload = encode_request(bad);
+    WireWriter frame;
+    frame.u32(kMagic);
+    frame.u16(static_cast<std::uint16_t>(Op::kScreenStatic));
+    frame.u16(0);
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.bytes(payload);
+    ASSERT_TRUE(c.send_raw(frame.data()));
+    Reply reply;
+    ASSERT_TRUE(c.read_reply(&reply));
+    ASSERT_EQ(reply.op, Op::kError);
+    ErrCode code{};
+    std::string msg;
+    ASSERT_TRUE(decode_error(reply.payload, &code, &msg));
+    EXPECT_EQ(code, ErrCode::kBadRequest);
+
+    // The daemon (and this very connection) must still serve valid work.
+    std::string err;
+    ASSERT_TRUE(c.call(make_request(Op::kScreenStatic), &reply, &err)) << err;
+    EXPECT_EQ(reply.op, Op::kOk);
+  }
+  std::string err;
+  const std::vector<JournalRecord> records =
+      read_journal_file(journal_path, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(records.size(), 1u);  // only the valid request was journaled
+  ServeCore fresh;
+  EXPECT_EQ(replay_journal(records, fresh).mismatches, 0u);
+  ::unlink(journal_path.c_str());
+}
+
+// The admission queue is bounded by decoded bytes, not just entry count: a
+// tiny queue_max_bytes must trip kBusy long before queue_capacity does.
+TEST(Server, ByteBoundedQueueRepliesBusy) {
+  ServerOptions opt;
+  opt.unix_path = test_socket_path("bytebusy");
+  opt.queue_capacity = 64;  // far above what the byte bound admits
+  opt.queue_max_bytes = 1;
+  LiveServer ls(std::move(opt));
+  ls.server.pause_dispatch(true);
+
+  Client a = ls.connect();
+  Client b = ls.connect();
+  const std::vector<std::uint8_t> payload =
+      encode_request(make_request(Op::kScreenStatic));
+  WireWriter frame;
+  frame.u32(kMagic);
+  frame.u16(static_cast<std::uint16_t>(Op::kScreenStatic));
+  frame.u16(0);
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.bytes(payload);
+
+  // Admitted despite blowing the byte budget: an empty queue always accepts
+  // one request so an oversized submission cannot starve.
+  ASSERT_TRUE(a.send_raw(frame.data()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(b.send_raw(frame.data()));  // over budget -> immediate kBusy
+  Reply breply;
+  ASSERT_TRUE(b.read_reply(&breply));
+  EXPECT_EQ(breply.op, Op::kBusy);
+
+  ls.server.pause_dispatch(false);
+  Reply areply;
+  ASSERT_TRUE(a.read_reply(&areply));
+  EXPECT_EQ(areply.op, Op::kOk);
+}
+
+// A start() that fails after binding the Unix socket (here: unopenable
+// journal path) must not strand the socket file on disk.
+TEST(Server, FailedStartDoesNotStrandSocketFile) {
+  ServerOptions opt;
+  opt.unix_path = test_socket_path("failstart");
+  opt.journal_path = "/nonexistent_dir_for_scap_serve_test/x.journal";
+  Server server(opt);
+  std::string err;
+  EXPECT_FALSE(server.start(&err));
+  EXPECT_NE(err.find("journal"), std::string::npos) << err;
+  struct stat st {};
+  EXPECT_NE(::stat(opt.unix_path.c_str(), &st), 0)
+      << "socket file stranded by failed start()";
 }
 
 TEST(Server, BoundedQueueRepliesBusy) {

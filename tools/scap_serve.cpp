@@ -8,7 +8,7 @@
 //
 // Usage:
 //   scap_serve --socket PATH [--tcp PORT] [--threads N] [--max-designs N]
-//              [--queue N] [--batch N] [--journal PATH]
+//              [--queue N] [--queue-mb MB] [--batch N] [--journal PATH]
 //   scap_serve --replay JOURNAL
 //
 // The daemon runs until SIGTERM/SIGINT, then drains: every admitted request
@@ -35,7 +35,7 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " --socket PATH [--tcp PORT] [--threads N] [--max-designs N]\n"
-         "       [--queue N] [--batch N] [--journal PATH]\n"
+         "       [--queue N] [--queue-mb MB] [--batch N] [--journal PATH]\n"
          "   or: " << argv0 << " --replay JOURNAL\n";
   return 2;
 }
@@ -97,6 +97,10 @@ int main(int argc, char** argv) {
         const char* v = next("--queue");
         if (!v) return 2;
         opt.queue_capacity = std::stoull(v);
+      } else if (arg == "--queue-mb") {
+        const char* v = next("--queue-mb");
+        if (!v) return 2;
+        opt.queue_max_bytes = std::stoull(v) << 20;
       } else if (arg == "--batch") {
         const char* v = next("--batch");
         if (!v) return 2;
