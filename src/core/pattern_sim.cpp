@@ -7,12 +7,15 @@
 namespace scap {
 
 PatternAnalyzer::PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib)
+    : PatternAnalyzer(soc, lib, SharedTables::build(soc, lib)) {}
+
+PatternAnalyzer::PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib,
+                                 std::shared_ptr<const SharedTables> tables)
     : soc_(&soc),
       lib_(&lib),
       logic_(soc.netlist),
-      nominal_dm_(soc.netlist, lib, soc.parasitics),
-      scap_(soc.netlist, soc.parasitics, lib),
-      scap_acc_(scap_, soc.config.tester_period_ns) {}
+      tables_(std::move(tables)),
+      scap_acc_(tables_->scap, soc.config.tester_period_ns) {}
 
 std::size_t PatternAnalyzer::build_launch(
     const TestContext& ctx, const Pattern& pattern,
@@ -52,7 +55,7 @@ std::size_t PatternAnalyzer::analyze_into(
     std::span<const double> clock_arrivals) const {
   SCAP_TRACE_SCOPE("sim.pattern_analyze");
   const std::size_t launched = build_launch(ctx, pattern, clock_arrivals);
-  const DelayModel& dm = delay_model ? *delay_model : nominal_dm_;
+  const DelayModel& dm = delay_model ? *delay_model : tables_->dm;
   EventSim sim(soc_->netlist, dm);
   sim.run(frame1_, stimuli_, ws_, sink);
   return launched;
@@ -69,7 +72,7 @@ const lint::StaticScapModel& PatternAnalyzer::static_model() const {
     const Netlist& nl = soc_->netlist;
     std::vector<double> energy(nl.num_nets());
     for (NetId n = 0; n < nl.num_nets(); ++n) {
-      energy[n] = scap_.net_toggle_energy_pj(n);
+      energy[n] = tables_->scap.net_toggle_energy_pj(n);
     }
     std::vector<double> arrival(nl.num_flops());
     for (FlopId f = 0; f < nl.num_flops(); ++f) {
@@ -77,7 +80,8 @@ const lint::StaticScapModel& PatternAnalyzer::static_model() const {
     }
     std::vector<double> min_delay(nl.num_gates());
     for (GateId g = 0; g < nl.num_gates(); ++g) {
-      min_delay[g] = std::min(nominal_dm_.rise_ns(g), nominal_dm_.fall_ns(g));
+      min_delay[g] =
+          std::min(tables_->dm.rise_ns(g), tables_->dm.fall_ns(g));
     }
     static_model_ = std::make_unique<lint::StaticScapModel>(nl, energy, arrival,
                                                             min_delay);

@@ -39,7 +39,29 @@ struct PatternAnalysis {
 
 class PatternAnalyzer {
  public:
+  /// Immutable per-design analysis tables: the nominal delay model and the
+  /// SCAP calculator, the two expensive per-net/per-gate precomputations an
+  /// analyzer needs. They are read-only after construction, so sharded
+  /// screens build them once and hand every thread-private analyzer the same
+  /// instance instead of recomputing them per shard (see
+  /// scap_profile_patterns / serve::WorkspacePool).
+  struct SharedTables {
+    DelayModel dm;
+    ScapCalculator scap;
+    SharedTables(const SocDesign& soc, const TechLibrary& lib)
+        : dm(soc.netlist, lib, soc.parasitics),
+          scap(soc.netlist, soc.parasitics, lib) {}
+    static std::shared_ptr<const SharedTables> build(const SocDesign& soc,
+                                                     const TechLibrary& lib) {
+      return std::make_shared<const SharedTables>(soc, lib);
+    }
+  };
+
   PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib);
+
+  /// Share prebuilt tables (must have been built from the same soc/lib).
+  PatternAnalyzer(const SocDesign& soc, const TechLibrary& lib,
+                  std::shared_ptr<const SharedTables> tables);
 
   /// Analyze one pattern, materializing the trace and SCAP report (the
   /// back-compat bundle). `delay_model` overrides the nominal model (pass a
@@ -97,8 +119,9 @@ class PatternAnalyzer {
   /// input through the reference engine.
   std::span<const Stimulus> stimuli() const { return stimuli_; }
 
-  const DelayModel& nominal_delays() const { return nominal_dm_; }
-  const ScapCalculator& scap_calculator() const { return scap_; }
+  const DelayModel& nominal_delays() const { return tables_->dm; }
+  const ScapCalculator& scap_calculator() const { return tables_->scap; }
+  std::shared_ptr<const SharedTables> shared_tables() const { return tables_; }
   const EventSim::Workspace& workspace() const { return ws_; }
 
  private:
@@ -109,8 +132,7 @@ class PatternAnalyzer {
   const SocDesign* soc_;
   const TechLibrary* lib_;
   LogicSim logic_;
-  DelayModel nominal_dm_;
-  ScapCalculator scap_;
+  std::shared_ptr<const SharedTables> tables_;
 
   // Reusable per-pattern scratch (capacity persists across analyses).
   mutable EventSim::Workspace ws_;

@@ -23,17 +23,19 @@ std::vector<ScapReport> scap_profile_patterns(
     }
     return out;
   }
-  // One contiguous pattern shard per task; each shard builds its own
-  // PatternAnalyzer (the delay model / SCAP tables are a one-time cost
-  // amortized over the shard, and its warm workspace makes every pattern
-  // after the first allocation-free) and writes only its own slots of `out`.
-  const std::size_t n_shards = std::min(patterns.size(), threads * 2);
+  // One contiguous pattern shard per thread. The expensive per-design tables
+  // (delay model, SCAP calculator) are built once and shared read-only; each
+  // shard-private analyzer owns only its warm event workspace, which makes
+  // every pattern after its first allocation-free. Shards write only their
+  // own slots of `out`, so the result is chunking-independent.
+  const auto tables = PatternAnalyzer::SharedTables::build(soc, lib);
+  const std::size_t n_shards = std::min(patterns.size(), threads);
   const std::size_t per = (patterns.size() + n_shards - 1) / n_shards;
   rt::ThreadPool::global()->run_chunked(n_shards, [&](std::size_t s) {
     const std::size_t b = s * per;
     const std::size_t e = std::min(patterns.size(), b + per);
     if (b >= e) return;
-    PatternAnalyzer analyzer(soc, lib);
+    PatternAnalyzer analyzer(soc, lib, tables);
     for (std::size_t i = b; i < e; ++i) {
       out[i] = analyzer.analyze_scap(ctx, patterns[i]);
     }
@@ -83,13 +85,14 @@ ScapScreenResult scap_screen_patterns(const SocDesign& soc,
     PatternAnalyzer analyzer(soc, lib);
     screen_range(analyzer, 0, patterns.size());
   } else {
-    const std::size_t n_shards = std::min(patterns.size(), threads * 2);
+    const auto tables = PatternAnalyzer::SharedTables::build(soc, lib);
+    const std::size_t n_shards = std::min(patterns.size(), threads);
     const std::size_t per = (patterns.size() + n_shards - 1) / n_shards;
     rt::ThreadPool::global()->run_chunked(n_shards, [&](std::size_t s) {
       const std::size_t b = s * per;
       const std::size_t e = std::min(patterns.size(), b + per);
       if (b >= e) return;
-      PatternAnalyzer analyzer(soc, lib);
+      PatternAnalyzer analyzer(soc, lib, tables);
       screen_range(analyzer, b, e);
     });
   }

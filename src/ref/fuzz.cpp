@@ -167,6 +167,9 @@ ScenarioResult run_scenario(const Scenario& sc, InjectedBug inject) {
         faults = std::move(sample);
       }
       FaultSimulator fs(nl, ctx);
+      if (valid_batch_words(sc.batch_words)) {
+        fs.set_batch_words(sc.batch_words);
+      }
       std::vector<std::size_t> graded = fs.grade(patterns, faults);
       if (inject == InjectedBug::kGradeOffByOne) {
         for (auto& v : graded) {
@@ -290,6 +293,9 @@ ShrinkResult shrink_scenario(const Scenario& start, InjectedBug inject) {
     }
     if (cur.check_grade && cur.fault_sample > 1) {
       push([](Scenario& c) { c.fault_sample /= 2; });
+    }
+    if (cur.check_grade && cur.batch_words != 1) {
+      push([](Scenario& c) { c.batch_words = 1; });  // simplest grade kernel
     }
     if (cur.fill_mode >= 0 && cur.x_fraction > 0.05) {
       push([](Scenario& c) { c.x_fraction = 0.0; });

@@ -32,6 +32,10 @@ Scenario Scenario::random(std::uint64_t seed) {
   sc.grid_seed = r();
   sc.fault_sample = static_cast<std::uint64_t>(r.range(8, 48));
   sc.fault_seed = r();
+  // grade() must be width-invariant; exercise every compiled kernel plus the
+  // engine default.
+  constexpr std::uint64_t kWidths[] = {0, 1, 2, 4};
+  sc.batch_words = kWidths[r.below(4)];
   return sc;
 }
 
@@ -61,6 +65,7 @@ Scenario Scenario::parse(const std::string& text) {
   sc.grid_seed = doc.get_u64("grid_seed", sc.grid_seed);
   sc.fault_sample = doc.get_u64("fault_sample", sc.fault_sample);
   sc.fault_seed = doc.get_u64("fault_seed", sc.fault_seed);
+  sc.batch_words = doc.get_u64("batch_words", sc.batch_words);
   sc.check_sim = doc.get_bool("check_sim", sc.check_sim);
   sc.check_scap = doc.get_bool("check_scap", sc.check_scap);
   sc.check_grade = doc.get_bool("check_grade", sc.check_grade);
@@ -94,6 +99,7 @@ std::string Scenario::serialize() const {
   doc.set_u64("grid_seed", grid_seed);
   doc.set_u64("fault_sample", fault_sample);
   doc.set_u64("fault_seed", fault_seed);
+  doc.set_u64("batch_words", batch_words);
   doc.set_bool("check_sim", check_sim);
   doc.set_bool("check_scap", check_scap);
   doc.set_bool("check_grade", check_grade);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 
 #include "obs/metrics.h"
@@ -168,21 +169,43 @@ void ThreadPool::execute(Task* task, Worker* self) {
 
 void ThreadPool::worker_main(Worker* self) {
   tl_on_worker = true;
+  int idle_sweeps = 0;
+  int napped_us = 100;
   for (;;) {
     Task* t = self->deque.pop();
     if (!t) t = steal_any(self);
     if (!t) t = pop_injector();
     if (t) {
       execute(t, self);
+      idle_sweeps = 0;
+      napped_us = 100;
       continue;
     }
     if (stop_.load(std::memory_order_acquire)) break;
     if (active_jobs_.load(std::memory_order_acquire) > 0) {
-      // A job is in flight but nothing was stealable this sweep; stay hot,
-      // new tasks appear without notification while a region is active.
-      std::this_thread::yield();
+      // A job is in flight but nothing was stealable this sweep. Stay hot
+      // briefly -- split tasks appear without notification while a region is
+      // active -- but bound the spin: when workers outnumber hardware
+      // threads, unbounded yielding steals the very timeslices the running
+      // tasks need. Past the budget, park with a timeout (backing off while
+      // fruitless) so late-appearing tasks are still picked up; a new job's
+      // notify_all wakes parked workers immediately.
+      if (++idle_sweeps <= 16) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(mu_);
+      self->prof.record(obs::ProfKind::kPark);
+      cv_.wait_for(lock, std::chrono::microseconds(napped_us), [&] {
+        return stop_.load(std::memory_order_relaxed) || !injector_.empty();
+      });
+      self->prof.record(obs::ProfKind::kUnpark);
+      napped_us = std::min(napped_us * 2, 4000);
+      idle_sweeps = 0;
       continue;
     }
+    idle_sweeps = 0;
+    napped_us = 100;
     std::unique_lock<std::mutex> lock(mu_);
     self->prof.record(obs::ProfKind::kPark);
     cv_.wait(lock, [&] {
@@ -216,9 +239,6 @@ void ThreadPool::run_chunked(std::size_t n_chunks,
   if (obs::metrics_enabled()) {
     jobs_ctr_->add(1);
     chunks_ctr_->add(n_chunks);
-    std::int64_t depth = 0;
-    for (const auto& w : workers_) depth += w->deque.size_estimate();
-    obs::observe("rt.queue_depth", static_cast<double>(depth));
   }
 
   Job job;
@@ -232,17 +252,32 @@ void ThreadPool::run_chunked(std::size_t n_chunks,
     active_jobs_.fetch_add(1, std::memory_order_relaxed);
     injector_.push_back(root);
   }
-  cv_.notify_all();
+  // The submitter participates too, so a job with few chunks needs few
+  // workers; waking the whole pool for a 2-chunk job just adds scheduling
+  // pressure (worst on hosts with fewer cores than workers).
+  const std::size_t to_wake = std::min(workers_.size(), n_chunks - 1);
+  if (to_wake >= workers_.size()) {
+    cv_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < to_wake; ++i) cv_.notify_one();
+  }
 
   // Participate until this job drains. Tasks of other concurrent jobs may be
   // picked up too -- they never block, so helping them only speeds things up.
+  // The drain tail (all tasks claimed, some still executing) spins briefly
+  // then sleeps in short slices: on an oversubscribed host an unbounded
+  // yield loop competes with the workers finishing the job.
+  int idle_sweeps = 0;
   while (job.remaining.load(std::memory_order_acquire) != 0) {
     Task* t = pop_injector();
     if (!t) t = steal_any(nullptr);
     if (t) {
       execute(t, nullptr);
-    } else {
+      idle_sweeps = 0;
+    } else if (++idle_sweeps <= 16) {
       std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
     }
   }
   active_jobs_.fetch_sub(1, std::memory_order_relaxed);

@@ -19,8 +19,10 @@
 //                    once at startup and cached for the process lifetime
 //
 // Observability: counters rt.jobs / rt.chunks / rt.tasks / rt.steals /
-// rt.steal_attempts, gauge rt.queue_depth (sampled at submit), span timer
-// "rt.job" around every parallel region. Under SCAP_PROF=1 every worker and
+// rt.steal_attempts, span timer "rt.job" around every parallel region.
+// (A queue-depth gauge sampled at submit time used to live here; it read 0
+// on every sample -- the injector has not been split into worker deques yet
+// at that point -- so it was dropped.) Under SCAP_PROF=1 every worker and
 // submitting caller additionally records task/steal/park/job events into a
 // per-lane ring (obs/prof.h) for the scheduler-level profile.
 #pragma once

@@ -15,9 +15,14 @@ WorkspacePool::Lease WorkspacePool::acquire() {
     }
   }
   // Construction outside the lock: shards warming in parallel must not
-  // serialize on the freelist mutex.
+  // serialize on the freelist mutex. The per-design tables are built exactly
+  // once (racing shards wait instead of each computing a private copy) and
+  // shared by every analyzer.
+  std::call_once(tables_once_, [this] {
+    tables_ = PatternAnalyzer::SharedTables::build(*soc_, *lib_);
+  });
   obs::count("serve.workspace.created");
-  return Lease(this, std::make_unique<PatternAnalyzer>(*soc_, *lib_));
+  return Lease(this, std::make_unique<PatternAnalyzer>(*soc_, *lib_, tables_));
 }
 
 std::size_t WorkspacePool::idle() const {

@@ -61,6 +61,12 @@ class WorkspacePool {
   const TechLibrary* lib_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<PatternAnalyzer>> free_;  // guarded by mu_
+  /// Per-design analysis tables (delay model, SCAP calculator), built by the
+  /// first acquire() and shared read-only by every analyzer the pool ever
+  /// constructs -- a cold dispatch pays the table cost once, not per shard.
+  /// Immutable after the call_once.
+  std::once_flag tables_once_;
+  std::shared_ptr<const PatternAnalyzer::SharedTables> tables_;
 };
 
 }  // namespace scap::serve

@@ -1,0 +1,137 @@
+// Batch evaluation kernel bodies, shared across translation units.
+//
+// This file is #included (not compiled standalone) with SCAP_BATCH_KERNEL_NS
+// defined to a TU-local namespace name. The same template source is built
+// once with baseline flags (sim/batch_sim.cpp), once with -mavx2
+// (sim/batch_sim_avx2.cpp, x86-64 only) so the W-lane inner loops vectorize
+// to 256-bit ops, and once inside the fault simulator's cone walker
+// (atpg/fault_sim.cpp) -- one source of truth for the word-domain cell
+// semantics, which must stay bit-identical to netlist/cell_type.cpp's
+// eval_word (pure bitwise ops, so any evaluation grouping is exact).
+//
+// W is the batch width in 64-bit machine words (1, 2 or 4 -> 64/128/256
+// patterns per pass). Values live W words per compact net, lane-major:
+// vals[net * W + w], bit p of word w = pattern w*64+p.
+
+#ifndef SCAP_BATCH_KERNEL_NS
+#error "define SCAP_BATCH_KERNEL_NS before including batch_kernels.inl"
+#endif
+
+namespace scap::batchk {
+namespace SCAP_BATCH_KERNEL_NS {
+
+/// Evaluate one cell over W words. `in` is an operand accessor: in(k) must
+/// return a pointer to input k's W words. `o` receives the W output words
+/// and must not alias any operand.
+template <int W, typename GetIn>
+inline void eval_cell(CellType t, GetIn in, std::uint64_t* o) {
+#define SCAP_LANES(expr)                       \
+  do {                                         \
+    for (int w = 0; w < W; ++w) o[w] = (expr); \
+  } while (0)
+  const std::uint64_t* a = nullptr;
+  const std::uint64_t* b = nullptr;
+  const std::uint64_t* c = nullptr;
+  const std::uint64_t* d = nullptr;
+  switch (t) {
+    case CellType::kTie0:
+      SCAP_LANES(0ull);
+      break;
+    case CellType::kTie1:
+      SCAP_LANES(~0ull);
+      break;
+    case CellType::kBuf:
+    case CellType::kClkBuf:
+    case CellType::kDff:
+      a = in(0);
+      SCAP_LANES(a[w]);
+      break;
+    case CellType::kInv:
+      a = in(0);
+      SCAP_LANES(~a[w]);
+      break;
+    case CellType::kAnd2:
+      a = in(0), b = in(1);
+      SCAP_LANES(a[w] & b[w]);
+      break;
+    case CellType::kAnd3:
+      a = in(0), b = in(1), c = in(2);
+      SCAP_LANES(a[w] & b[w] & c[w]);
+      break;
+    case CellType::kAnd4:
+      a = in(0), b = in(1), c = in(2), d = in(3);
+      SCAP_LANES(a[w] & b[w] & c[w] & d[w]);
+      break;
+    case CellType::kNand2:
+      a = in(0), b = in(1);
+      SCAP_LANES(~(a[w] & b[w]));
+      break;
+    case CellType::kNand3:
+      a = in(0), b = in(1), c = in(2);
+      SCAP_LANES(~(a[w] & b[w] & c[w]));
+      break;
+    case CellType::kNand4:
+      a = in(0), b = in(1), c = in(2), d = in(3);
+      SCAP_LANES(~(a[w] & b[w] & c[w] & d[w]));
+      break;
+    case CellType::kOr2:
+      a = in(0), b = in(1);
+      SCAP_LANES(a[w] | b[w]);
+      break;
+    case CellType::kOr3:
+      a = in(0), b = in(1), c = in(2);
+      SCAP_LANES(a[w] | b[w] | c[w]);
+      break;
+    case CellType::kOr4:
+      a = in(0), b = in(1), c = in(2), d = in(3);
+      SCAP_LANES(a[w] | b[w] | c[w] | d[w]);
+      break;
+    case CellType::kNor2:
+      a = in(0), b = in(1);
+      SCAP_LANES(~(a[w] | b[w]));
+      break;
+    case CellType::kNor3:
+      a = in(0), b = in(1), c = in(2);
+      SCAP_LANES(~(a[w] | b[w] | c[w]));
+      break;
+    case CellType::kNor4:
+      a = in(0), b = in(1), c = in(2), d = in(3);
+      SCAP_LANES(~(a[w] | b[w] | c[w] | d[w]));
+      break;
+    case CellType::kXor2:
+      a = in(0), b = in(1);
+      SCAP_LANES(a[w] ^ b[w]);
+      break;
+    case CellType::kXnor2:
+      a = in(0), b = in(1);
+      SCAP_LANES(~(a[w] ^ b[w]));
+      break;
+    case CellType::kMux2:  // inputs [S, A, B]; out = S ? B : A
+      a = in(0), b = in(1), c = in(2);
+      SCAP_LANES((a[w] & c[w]) | (~a[w] & b[w]));
+      break;
+  }
+#undef SCAP_LANES
+}
+
+/// One full sweep over the levelized schedule: every gate output computed
+/// from already-written compact nets. Sources (flop Q, PI, undriven) must be
+/// seeded before the call.
+template <int W>
+void sweep(const LevelizedView& v, std::uint64_t* vals) {
+  const std::size_t ng = v.num_gates();
+  const CellType* types = v.gate_types();
+  const NetId* outs = v.gate_outs();
+  const NetId* pool = v.gate_ins();
+  const std::uint32_t* off = v.gate_in_offsets();
+  for (std::size_t i = 0; i < ng; ++i) {
+    const NetId* ins = pool + off[i];
+    eval_cell<W>(
+        types[i],
+        [&](int k) { return vals + static_cast<std::size_t>(ins[k]) * W; },
+        vals + static_cast<std::size_t>(outs[i]) * W);
+  }
+}
+
+}  // namespace SCAP_BATCH_KERNEL_NS
+}  // namespace scap::batchk

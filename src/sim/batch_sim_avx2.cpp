@@ -1,0 +1,24 @@
+// AVX2 instantiation of the batch sweep kernels. This TU (and only this TU)
+// is compiled with -mavx2 on x86-64 hosts, so the W-lane bitwise bodies in
+// batch_kernels.inl vectorize to 256-bit ops. BatchSim selects these entry
+// points at construction after a runtime __builtin_cpu_supports("avx2")
+// check; on hosts without AVX2 they are never called.
+#include "sim/batch_sim.h"
+
+#define SCAP_BATCH_KERNEL_NS avx2
+#include "sim/batch_kernels.inl"
+#undef SCAP_BATCH_KERNEL_NS
+
+namespace scap::batchk {
+
+void sweep_avx2_w1(const LevelizedView& v, std::uint64_t* vals) {
+  avx2::sweep<1>(v, vals);
+}
+void sweep_avx2_w2(const LevelizedView& v, std::uint64_t* vals) {
+  avx2::sweep<2>(v, vals);
+}
+void sweep_avx2_w4(const LevelizedView& v, std::uint64_t* vals) {
+  avx2::sweep<4>(v, vals);
+}
+
+}  // namespace scap::batchk

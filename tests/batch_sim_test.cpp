@@ -1,0 +1,306 @@
+// Bit-exactness suite for the levelized batch evaluation core.
+//
+// Pins the three layers introduced by the SoA refactor against the legacy,
+// obviously-correct paths:
+//  - LevelizedView: the compact renumbering is a permutation, the schedule
+//    is topological, and the compact-space topology mirrors the Netlist.
+//  - BatchSim: every width (W = 1/2/4) reproduces WordSim's frames exactly,
+//    lane by lane, and transpose_pack equals naive bit packing.
+//  - FaultSimulator::grade: first-detect indices are identical at every
+//    batch width, at 1 and 4 threads, and (over the committed differential
+//    corpus) equal to ref::fault_grade_ref.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "atpg/fault_sim.h"
+#include "atpg/pattern.h"
+#include "netlist/levelized_view.h"
+#include "ref/fuzz.h"
+#include "ref/ref_models.h"
+#include "ref/scenario.h"
+#include "rt/thread_pool.h"
+#include "sim/batch_sim.h"
+#include "sim/logic_sim.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+TEST(LevelizedView, CompactRenumberingIsAPermutation) {
+  const Netlist& nl = test::small_soc().netlist;
+  const LevelizedView v(nl);
+  ASSERT_EQ(v.num_nets(), nl.num_nets());
+  ASSERT_EQ(v.num_gates(), nl.num_gates());
+  ASSERT_EQ(v.num_flops(), nl.num_flops());
+  ASSERT_EQ(v.num_pis(), nl.primary_inputs().size());
+
+  std::vector<std::uint8_t> seen(nl.num_nets(), 0);
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const NetId c = v.compact_net(n);
+    ASSERT_LT(c, nl.num_nets());
+    ASSERT_FALSE(seen[c]) << "compact id " << c << " assigned twice";
+    seen[c] = 1;
+    EXPECT_EQ(v.external_net(c), n);
+  }
+  // Flop Q nets are the leading compact ids, in flop order (the state-vector
+  // layout BatchSim::eval_frame memcpys into).
+  for (FlopId f = 0; f < nl.num_flops(); ++f) {
+    EXPECT_EQ(v.compact_net(nl.flop(f).q), static_cast<NetId>(f));
+    EXPECT_EQ(v.f_q()[f], static_cast<NetId>(f));
+    EXPECT_EQ(v.f_d()[f], v.compact_net(nl.flop(f).d));
+  }
+}
+
+TEST(LevelizedView, ScheduleIsTopologicalAndMirrorsTopology) {
+  const Netlist& nl = test::small_soc().netlist;
+  const LevelizedView v(nl);
+  const std::uint32_t* levels = v.gate_levels();
+  const std::uint32_t* off = v.gate_in_offsets();
+  ASSERT_EQ(off[0], 0u);
+  for (std::uint32_t i = 0; i < v.num_gates(); ++i) {
+    if (i > 0) EXPECT_GE(levels[i], levels[i - 1]);
+    const GateId g = v.gate_at(i);
+    EXPECT_EQ(v.sched_of_gate(g), i);
+    EXPECT_EQ(v.gate_types()[i], nl.gate(g).type);
+    EXPECT_EQ(v.gate_outs()[i], v.compact_net(nl.gate(g).out));
+    // Outputs are numbered in schedule order.
+    EXPECT_EQ(v.gate_outs()[i], v.first_gate_out() + i);
+    const auto in_nets = nl.gate_inputs(g);
+    ASSERT_EQ(off[i + 1] - off[i], in_nets.size());
+    for (std::size_t j = 0; j < in_nets.size(); ++j) {
+      const NetId cin = v.gate_ins()[off[i] + j];
+      EXPECT_EQ(cin, v.compact_net(in_nets[j]));
+      // Topological: every operand is written before this gate's output.
+      EXPECT_LT(cin, v.gate_outs()[i]);
+    }
+  }
+  // Compact-space fanouts mirror Netlist::fanout_gates pin-for-pin.
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto ext = nl.fanout_gates(n);
+    const auto sched = v.fanout_scheds(v.compact_net(n));
+    ASSERT_EQ(sched.size(), ext.size());
+    std::vector<GateId> a(ext.begin(), ext.end());
+    std::vector<GateId> b;
+    for (std::uint32_t si : sched) b.push_back(v.gate_at(si));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "net " << n;
+  }
+}
+
+TEST(BatchSim, TransposePackMatchesNaivePacking) {
+  Rng rng(42);
+  for (const std::size_t words : {1u, 2u, 4u}) {
+    for (const std::size_t num_vars : {1u, 8u, 13u, 64u, 67u}) {
+      const std::size_t np = rng.range(1, static_cast<long>(words * 64));
+      std::vector<std::vector<std::uint8_t>> pats(np);
+      std::vector<const std::uint8_t*> rows(np);
+      for (std::size_t p = 0; p < np; ++p) {
+        pats[p].resize(num_vars);
+        for (auto& b : pats[p]) b = static_cast<std::uint8_t>(rng.below(2));
+        rows[p] = pats[p].data();
+      }
+      std::vector<std::uint64_t> packed;
+      transpose_pack(rows, num_vars, words, packed);
+
+      std::vector<std::uint64_t> naive(num_vars * words, 0);
+      for (std::size_t p = 0; p < np; ++p) {
+        for (std::size_t vv = 0; vv < num_vars; ++vv) {
+          naive[vv * words + p / 64] |=
+              static_cast<std::uint64_t>(pats[p][vv] & 1) << (p % 64);
+        }
+      }
+      ASSERT_EQ(packed, naive) << "words=" << words << " vars=" << num_vars
+                               << " patterns=" << np;
+    }
+  }
+}
+
+TEST(BatchSim, MatchesWordSimAtEveryWidth) {
+  const Netlist& nl = test::small_soc().netlist;
+  const auto view = LevelizedView::build(nl);
+  WordSim word(nl);
+  Rng rng(7);
+
+  const std::size_t nf = nl.num_flops();
+  const std::size_t npi = nl.primary_inputs().size();
+  for (const std::size_t W : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    BatchSim batch(view, W);
+    ASSERT_EQ(batch.words(), W);
+    // Independent random words per lane.
+    std::vector<std::uint64_t> q(nf * W), pi(npi * W);
+    for (auto& x : q) x = rng();
+    for (auto& x : pi) x = rng();
+
+    std::vector<std::uint64_t> vals;
+    batch.eval_frame(q, pi, vals);
+    ASSERT_EQ(vals.size(), nl.num_nets() * W);
+
+    // Each lane word must equal a WordSim frame fed that lane's inputs.
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<std::uint64_t> qw(nf), piw(npi), ref;
+      for (std::size_t f = 0; f < nf; ++f) qw[f] = q[f * W + w];
+      for (std::size_t i = 0; i < npi; ++i) piw[i] = pi[i * W + w];
+      word.eval_frame(qw, piw, ref);
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        ASSERT_EQ(vals[static_cast<std::size_t>(view->compact_net(n)) * W + w],
+                  ref[n])
+            << "net " << n << " W=" << W << " word " << w;
+      }
+    }
+
+    // Broadside round trip: next state + frame 2 agree with WordSim too.
+    std::vector<std::uint64_t> f1, s2, g2;
+    batch.broadside(q, pi, f1, s2, g2);
+    for (std::size_t w = 0; w < W; ++w) {
+      std::vector<std::uint64_t> qw(nf), piw(npi), rf1, rs2, rg2;
+      for (std::size_t f = 0; f < nf; ++f) qw[f] = q[f * W + w];
+      for (std::size_t i = 0; i < npi; ++i) piw[i] = pi[i * W + w];
+      word.broadside(qw, piw, rf1, rs2, rg2);
+      for (std::size_t f = 0; f < nf; ++f) {
+        ASSERT_EQ(s2[f * W + w], rs2[f]) << "flop " << f;
+      }
+      for (NetId n = 0; n < nl.num_nets(); ++n) {
+        ASSERT_EQ(g2[static_cast<std::size_t>(view->compact_net(n)) * W + w],
+                  rg2[n])
+            << "net " << n;
+      }
+    }
+  }
+}
+
+/// Run `fn` with the global pool pinned to `threads`, restoring the default.
+template <typename Fn>
+auto at_threads(std::size_t threads, Fn&& fn) {
+  rt::ThreadPool::set_global_concurrency(threads);
+  auto out = fn();
+  rt::ThreadPool::set_global_concurrency(0);
+  return out;
+}
+
+TEST(BatchGrade, WidthAndThreadInvariant) {
+  const Netlist& nl = test::small_soc().netlist;
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  // 3 full 64-lane batches plus a partial tail, so W=4 sees a partial block.
+  const PatternSet pats = random_pattern_set(210, ctx.num_vars(), 77);
+
+  std::vector<std::vector<std::size_t>> results;
+  std::vector<std::vector<std::size_t>> counts;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t W :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      auto run = [&] {
+        FaultSimulator fs(nl, ctx);
+        fs.set_batch_words(W);
+        std::vector<std::size_t> per_pattern;
+        auto first = fs.grade(pats.patterns, faults, &per_pattern);
+        return std::pair(std::move(first), std::move(per_pattern));
+      };
+      auto [first, per] = at_threads(threads, run);
+      results.push_back(std::move(first));
+      counts.push_back(std::move(per));
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i], results[0]) << "variant " << i;
+    EXPECT_EQ(counts[i], counts[0]) << "variant " << i;
+  }
+
+  // And all of it equals the legacy one-batch-at-a-time path.
+  FaultSimulator legacy(nl, ctx);
+  std::vector<std::size_t> first_legacy(faults.size(),
+                                        FaultSimulator::kUndetected);
+  for (std::size_t base = 0; base < pats.patterns.size(); base += 64) {
+    const std::size_t n = std::min<std::size_t>(64, pats.patterns.size() - base);
+    legacy.load_batch(std::span<const Pattern>(pats.patterns).subspan(base, n));
+    for (std::size_t fi = 0; fi < faults.size(); ++fi) {
+      if (first_legacy[fi] != FaultSimulator::kUndetected) continue;
+      const std::uint64_t mask = legacy.detect_mask(faults[fi]);
+      if (mask) {
+        first_legacy[fi] =
+            base + static_cast<std::size_t>(std::countr_zero(mask));
+      }
+    }
+  }
+  EXPECT_EQ(results[0], first_legacy);
+}
+
+TEST(BatchGrade, RejectsInvalidWidths) {
+  const Netlist& nl = test::tiny_soc().netlist;
+  const TestContext ctx = TestContext::for_domain(nl, 0);
+  FaultSimulator fs(nl, ctx);
+  EXPECT_EQ(fs.batch_words(), FaultSimulator::kDefaultBatchWords);
+  EXPECT_THROW(fs.set_batch_words(3), std::invalid_argument);
+  EXPECT_THROW(fs.set_batch_words(8), std::invalid_argument);
+  fs.set_batch_words(2);
+  EXPECT_EQ(fs.batch_words(), 2u);
+  fs.set_batch_words(0);  // reset
+  EXPECT_EQ(fs.batch_words(), FaultSimulator::kDefaultBatchWords);
+}
+
+// --- corpus replay vs the reference grader --------------------------------
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  const std::filesystem::path dir = SCAP_CORPUS_DIR;
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.path().extension() == ".scenario") files.push_back(e.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class CorpusGrade : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusGrade, MatchesReferenceAtEveryWidthAndThreadCount) {
+  const ref::Scenario sc = ref::Scenario::parse(slurp(GetParam()));
+  const ref::ScenarioSetup setup = ref::materialize_scenario(sc);
+  const Netlist& nl = setup.soc.netlist;
+  const auto faults = collapse_faults(nl, enumerate_faults(nl));
+  ASSERT_FALSE(setup.patterns.empty());
+
+  const std::vector<std::size_t> ref_first =
+      ref::fault_grade_ref(nl, setup.ctx, setup.patterns, faults);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const std::size_t W :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      auto first = at_threads(threads, [&] {
+        FaultSimulator fs(nl, setup.ctx);
+        fs.set_batch_words(W);
+        return fs.grade(setup.patterns, faults);
+      });
+      EXPECT_EQ(first, ref_first) << "threads=" << threads << " W=" << W;
+    }
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusGrade,
+                         ::testing::ValuesIn(corpus_files()), param_name);
+
+}  // namespace
+}  // namespace scap

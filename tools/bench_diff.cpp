@@ -11,7 +11,7 @@
 // Usage:
 //   bench_diff --current FILE [--baseline FILE] [--tolerance FRAC]
 //              [--history FILE] [--label STR] [--warn-only]
-//              [--write-baseline FILE]
+//              [--gate-min NAME:VALUE ...] [--write-baseline FILE]
 //
 //   --current FILE         the freshly produced BENCH_*.json (required)
 //   --baseline FILE        committed reference artifact; without it the tool
@@ -21,6 +21,12 @@
 //   --history FILE         append one JSONL trajectory row here
 //   --label STR            free-form row label (git SHA, "local", ...)
 //   --warn-only            report regressions but exit 0 (CI soak mode)
+//   --gate-min NAME:VALUE  absolute floor on one current metric (repeatable);
+//                          a metric below its floor is a regression, and a
+//                          missing metric is a usage error. Unlike the
+//                          baseline diff, gates need no baseline artifact --
+//                          they pin invariants ("t4 never slower than t1":
+//                          rt.sweep.*.t4_speedup:0.95) directly
 //   --write-baseline FILE  copy the current artifact to FILE and exit
 //
 // Exit codes: 0 = ok (or --warn-only), 1 = regression beyond tolerance,
@@ -44,9 +50,28 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --current FILE [--baseline FILE] [--tolerance FRAC]\n"
                "       [--history FILE] [--label STR] [--warn-only]\n"
-               "       [--write-baseline FILE]\n",
+               "       [--gate-min NAME:VALUE ...] [--write-baseline FILE]\n",
                argv0);
   return 2;
+}
+
+struct MinGate {
+  std::string name;
+  double floor = 0.0;
+};
+
+/// Parse a "NAME:VALUE" gate spec; returns std::nullopt on malformed input.
+std::optional<MinGate> parse_gate_min(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return std::nullopt;
+  }
+  MinGate g;
+  g.name = spec.substr(0, colon);
+  char* end = nullptr;
+  g.floor = std::strtod(spec.c_str() + colon + 1, &end);
+  if (!end || *end != '\0') return std::nullopt;
+  return g;
 }
 
 std::optional<std::string> read_file(const std::string& path) {
@@ -78,6 +103,7 @@ int main(int argc, char** argv) {
   std::string label = "local";
   double tolerance = 0.25;
   bool warn_only = false;
+  std::vector<MinGate> gates;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -106,6 +132,15 @@ int main(int argc, char** argv) {
       label = v;
     } else if (arg == "--warn-only") {
       warn_only = true;
+    } else if (arg == "--gate-min") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      const std::optional<MinGate> g = parse_gate_min(v);
+      if (!g) {
+        std::fprintf(stderr, "bench_diff: bad --gate-min spec '%s'\n", v);
+        return usage(argv[0]);
+      }
+      gates.push_back(*g);
     } else if (arg == "--write-baseline") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -162,15 +197,43 @@ int main(int argc, char** argv) {
     std::printf("trajectory: appended row to %s\n", history_path.c_str());
   }
 
-  if (baseline_path.empty()) return 0;
-  const std::optional<scap::obs::json::Value> baseline =
-      load_bench(baseline_path);
-  if (!baseline) return 2;
+  // Absolute floors: substring-matched against the flattened names so
+  // "rt.sweep.faultsim_grade.t4_speedup:0.95" catches
+  // "gauges.rt.sweep.faultsim_grade.t4_speedup.mean". No baseline needed.
+  bool failed = false;
+  for (const MinGate& g : gates) {
+    std::size_t matched = 0;
+    for (const scap::obs::bench::MetricRow& row : rows) {
+      if (row.name.find(g.name) == std::string::npos) continue;
+      ++matched;
+      if (row.value < g.floor) {
+        std::printf("GATE  %-56s %10.4g < floor %.4g\n", row.name.c_str(),
+                    row.value, g.floor);
+        failed = true;
+      } else {
+        std::printf("gate  %-56s %10.4g >= floor %.4g\n", row.name.c_str(),
+                    row.value, g.floor);
+      }
+    }
+    if (matched == 0) {
+      std::fprintf(stderr, "bench_diff: --gate-min metric '%s' not found in %s\n",
+                   g.name.c_str(), current_path.c_str());
+      return 2;
+    }
+  }
 
-  const scap::obs::bench::DiffResult diff =
-      scap::obs::bench::compare(*baseline, *current, tolerance);
-  std::fputs(scap::obs::bench::format_diff(diff, tolerance).c_str(), stdout);
-  if (!diff.ok()) {
+  if (!baseline_path.empty()) {
+    const std::optional<scap::obs::json::Value> baseline =
+        load_bench(baseline_path);
+    if (!baseline) return 2;
+
+    const scap::obs::bench::DiffResult diff =
+        scap::obs::bench::compare(*baseline, *current, tolerance);
+    std::fputs(scap::obs::bench::format_diff(diff, tolerance).c_str(), stdout);
+    if (!diff.ok()) failed = true;
+  }
+
+  if (failed) {
     if (warn_only) {
       std::printf("bench_diff: regressions found, exiting 0 (--warn-only)\n");
       return 0;

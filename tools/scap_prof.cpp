@@ -9,7 +9,7 @@
 //
 // Usage:
 //   scap_prof [--kernel faultsim|grid|scap] [--threads N] [--repeat N]
-//             [--scale S] [--out DIR] [--overhead]
+//             [--scale S] [--words 1|2|4] [--out DIR] [--overhead]
 //
 // Artifacts (scap_prof_metrics.json, and scap_prof_trace.json when
 // SCAP_TRACE is on) land next to the executable by default, or under --out
@@ -45,7 +45,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--kernel faultsim|grid|scap] [--threads N]\n"
-               "       [--repeat N] [--scale S] [--out DIR] [--overhead]\n",
+               "       [--repeat N] [--scale S] [--words 1|2|4] [--out DIR]\n"
+               "       [--overhead]\n",
                argv0);
   return 2;
 }
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 4;
   int repeat = 3;
   double scale = 0.04;
+  std::size_t words = 0;  // 0 = FaultSimulator default
   std::string out_dir;
   bool overhead = false;
 
@@ -89,6 +91,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       scale = std::atof(v);
+    } else if (arg == "--words") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      words = static_cast<std::size_t>(std::atol(v));
+      if (!scap::valid_batch_words(words)) return usage(argv[0]);
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -120,8 +127,11 @@ int main(int argc, char** argv) {
 
   std::function<void()> body;
   if (kernel == "faultsim") {
-    body = [&] {
-      scap::FaultSimulator fsim(nl, exp.ctx);
+    // Share the levelized view across repeats (profiling the grade, not the
+    // one-time schedule build); `--words` picks the batch width.
+    auto view = scap::LevelizedView::build(nl);
+    body = [&exp, &pats, view, words] {
+      scap::FaultSimulator fsim(exp.soc.netlist, exp.ctx, view, words);
       volatile std::size_t n = fsim.grade(pats.patterns, exp.faults).size();
       (void)n;
     };
