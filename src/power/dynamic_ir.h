@@ -47,6 +47,13 @@ struct DynamicIrReport {
   double droop_at(Point p) const {
     return vdd_solution.drop_at(p) + vss_solution.drop_at(p);
   }
+
+  /// True only when both rail solves converged; a false report may
+  /// understate every droop number above (the solves already bumped
+  /// "power.grid_solve_nonconverged" and logged a warning).
+  bool rails_converged() const {
+    return vdd_solution.converged && vss_solution.converged;
+  }
 };
 
 DynamicIrReport analyze_pattern_ir(const Netlist& nl, const Placement& pl,

@@ -1,0 +1,158 @@
+#include "power/pdn_spec.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace scap {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("pdn spec: line " + std::to_string(line_no) + ": " +
+                           what);
+}
+
+}  // namespace
+
+PdnSpec PdnSpec::parse(const std::string& text) {
+  PdnSpec spec;
+  bool have_mesh = false;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string kw;
+    if (!(ls >> kw)) continue;  // blank / comment-only
+
+    auto want_u32 = [&](const char* what) {
+      long long v = -1;
+      if (!(ls >> v) || v < 0) fail(line_no, std::string("bad ") + what);
+      return static_cast<std::uint32_t>(v);
+    };
+    auto want_f64 = [&](const char* what) {
+      double v = 0.0;
+      if (!(ls >> v)) fail(line_no, std::string("bad ") + what);
+      return v;
+    };
+    auto node_in_range = [&](std::uint32_t ix, std::uint32_t iy) {
+      if (!have_mesh) fail(line_no, "mesh must come before node references");
+      if (ix >= spec.nx || iy >= spec.ny) fail(line_no, "node out of range");
+    };
+
+    if (kw == "mesh") {
+      spec.nx = want_u32("mesh nx");
+      spec.ny = want_u32("mesh ny");
+      if (spec.nx < 2 || spec.ny < 2) fail(line_no, "mesh must be >= 2x2");
+      have_mesh = true;
+    } else if (kw == "die") {
+      spec.die.x0 = want_f64("die x0");
+      spec.die.y0 = want_f64("die y0");
+      spec.die.x1 = want_f64("die x1");
+      spec.die.y1 = want_f64("die y1");
+      if (spec.die.width() <= 0 || spec.die.height() <= 0) {
+        fail(line_no, "die must have positive extent");
+      }
+    } else if (kw == "segment_res_ohm") {
+      spec.segment_res_ohm = want_f64("segment_res_ohm");
+      if (spec.segment_res_ohm <= 0) fail(line_no, "resistance must be > 0");
+    } else if (kw == "pad_res_ohm") {
+      spec.pad_res_ohm = want_f64("pad_res_ohm");
+      if (spec.pad_res_ohm <= 0) fail(line_no, "resistance must be > 0");
+    } else if (kw == "jitter") {
+      spec.jitter_frac = want_f64("jitter fraction");
+      spec.jitter_seed = want_u32("jitter seed");
+      if (spec.jitter_frac < 0 || spec.jitter_frac > 0.95) {
+        fail(line_no, "jitter fraction must be in [0, 0.95]");
+      }
+    } else if (kw == "void") {
+      VoidRect v{};
+      v.x0 = want_u32("void x0");
+      v.y0 = want_u32("void y0");
+      v.x1 = want_u32("void x1");
+      v.y1 = want_u32("void y1");
+      node_in_range(v.x0, v.y0);
+      node_in_range(v.x1, v.y1);
+      if (v.x1 < v.x0 || v.y1 < v.y0) fail(line_no, "void rect inverted");
+      spec.voids.push_back(v);
+    } else if (kw == "pad") {
+      std::string rail;
+      if (!(ls >> rail) || (rail != "vdd" && rail != "vss")) {
+        fail(line_no, "pad rail must be vdd or vss");
+      }
+      PadSite p{};
+      p.is_vdd = rail == "vdd";
+      p.ix = want_u32("pad ix");
+      p.iy = want_u32("pad iy");
+      node_in_range(p.ix, p.iy);
+      spec.pads.push_back(p);
+    } else if (kw == "source") {
+      SourceSite s{};
+      s.ix = want_u32("source ix");
+      s.iy = want_u32("source iy");
+      s.amps = want_f64("source amps");
+      node_in_range(s.ix, s.iy);
+      if (s.amps < 0) fail(line_no, "source amps must be >= 0");
+      spec.sources.push_back(s);
+    } else {
+      fail(line_no, "unknown keyword '" + kw + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail(line_no, "trailing tokens after '" + kw + "'");
+  }
+  if (!have_mesh) throw std::runtime_error("pdn spec: missing mesh line");
+  return spec;
+}
+
+std::string PdnSpec::serialize() const {
+  std::ostringstream os;
+  os << "# pdn spec\n";
+  os << "mesh " << nx << " " << ny << "\n";
+  os << "die " << die.x0 << " " << die.y0 << " " << die.x1 << " " << die.y1
+     << "\n";
+  os << "segment_res_ohm " << segment_res_ohm << "\n";
+  os << "pad_res_ohm " << pad_res_ohm << "\n";
+  if (jitter_frac > 0) {
+    os << "jitter " << jitter_frac << " " << jitter_seed << "\n";
+  }
+  for (const VoidRect& v : voids) {
+    os << "void " << v.x0 << " " << v.y0 << " " << v.x1 << " " << v.y1 << "\n";
+  }
+  for (const PadSite& p : pads) {
+    os << "pad " << (p.is_vdd ? "vdd" : "vss") << " " << p.ix << " " << p.iy
+       << "\n";
+  }
+  for (const SourceSite& s : sources) {
+    os << "source " << s.ix << " " << s.iy << " " << s.amps << "\n";
+  }
+  return os.str();
+}
+
+PdnTopology PdnSpec::topology() const {
+  PdnTopology t = PdnTopology::uniform(nx, ny, 1.0 / segment_res_ohm);
+  if (jitter_frac > 0) t.jitter_edges(jitter_frac, jitter_seed);
+  for (const VoidRect& v : voids) t.punch_void(v.x0, v.y0, v.x1, v.y1);
+  const double gpad = 1.0 / pad_res_ohm;
+  for (const PadSite& p : pads) t.add_pad(p.ix, p.iy, p.is_vdd, gpad);
+  t.finalize();
+  return t;
+}
+
+std::vector<Point> PdnSpec::source_points() const {
+  std::vector<Point> out;
+  out.reserve(sources.size());
+  for (const SourceSite& s : sources) out.push_back(node_point(s.ix, s.iy));
+  return out;
+}
+
+std::vector<double> PdnSpec::source_amps() const {
+  std::vector<double> out;
+  out.reserve(sources.size());
+  for (const SourceSite& s : sources) out.push_back(s.amps);
+  return out;
+}
+
+}  // namespace scap

@@ -1,0 +1,75 @@
+// Small text format for importing irregular PDN problems.
+//
+// Benches and tests need non-uniform meshes with voids, jittered metal and
+// explicit loads without hand-assembling a PdnTopology; this is the
+// line-oriented spec they read ('#' starts a comment, keywords repeat):
+//
+//     # pdn spec
+//     mesh 24 24                  # node lattice, required first
+//     die 0 0 3000 3000           # die extent [um] (default 0 0 1000 1000)
+//     segment_res_ohm 0.35        # default edge resistance
+//     pad_res_ohm 0.08            # pad contact resistance
+//     jitter 0.3 7                # per-edge jitter fraction + seed
+//     void 6 6 12 12              # inclusive node rect punched out
+//     pad vdd 0 0                 # pad at a node (repeat per site)
+//     pad vss 23 0
+//     source 12 4 0.02            # point load: node + amps
+//
+// KvDoc is deliberately not used here: pads, voids and sources repeat, and
+// KvDoc rejects duplicate keys. parse() throws std::runtime_error with the
+// offending line number on any malformed input; topology() returns the
+// finalized PdnTopology (which itself throws if no node reaches both rails).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/pdn_topology.h"
+#include "util/geometry.h"
+
+namespace scap {
+
+struct PdnSpec {
+  std::uint32_t nx = 0;
+  std::uint32_t ny = 0;
+  Rect die{0.0, 0.0, 1000.0, 1000.0};
+  double segment_res_ohm = 0.35;
+  double pad_res_ohm = 0.08;
+  double jitter_frac = 0.0;
+  std::uint64_t jitter_seed = 1;
+
+  struct VoidRect {
+    std::uint32_t x0, y0, x1, y1;  ///< inclusive node rect
+  };
+  struct PadSite {
+    bool is_vdd;
+    std::uint32_t ix, iy;
+  };
+  struct SourceSite {
+    std::uint32_t ix, iy;
+    double amps;
+  };
+  std::vector<VoidRect> voids;
+  std::vector<PadSite> pads;
+  std::vector<SourceSite> sources;
+
+  static PdnSpec parse(const std::string& text);
+  std::string serialize() const;
+
+  /// Build and finalize the topology this spec describes.
+  PdnTopology topology() const;
+
+  /// The spec's loads as die-coordinate points + amps, ready for
+  /// PowerGrid::solve.
+  std::vector<Point> source_points() const;
+  std::vector<double> source_amps() const;
+
+  /// Die location of a lattice node.
+  Point node_point(std::uint32_t ix, std::uint32_t iy) const {
+    return {die.x0 + die.width() * ix / (nx - 1),
+            die.y0 + die.height() * iy / (ny - 1)};
+  }
+};
+
+}  // namespace scap

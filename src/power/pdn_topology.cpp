@@ -1,0 +1,199 @@
+#include "power/pdn_topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "power/power_grid.h"
+#include "util/rng.h"
+
+namespace scap {
+
+PdnTopology PdnTopology::uniform(std::uint32_t nx, std::uint32_t ny,
+                                 double gseg) {
+  if (nx < 2 || ny < 2) {
+    throw std::runtime_error("pdn topology: mesh must be at least 2x2");
+  }
+  PdnTopology t;
+  t.nx = nx;
+  t.ny = ny;
+  const std::size_t n = static_cast<std::size_t>(nx) * ny;
+  t.g_h.assign(static_cast<std::size_t>(nx - 1) * ny, gseg);
+  t.g_v.assign(static_cast<std::size_t>(nx) * (ny - 1), gseg);
+  t.active.assign(n, 1);
+  t.vdd_pad_g.assign(n, 0.0);
+  t.vss_pad_g.assign(n, 0.0);
+  t.snap.resize(n);
+  for (std::size_t i = 0; i < n; ++i) t.snap[i] = static_cast<std::uint32_t>(i);
+  t.active_nodes = n;
+  return t;
+}
+
+void PdnTopology::punch_void(std::uint32_t x0, std::uint32_t y0,
+                             std::uint32_t x1, std::uint32_t y1) {
+  x1 = std::min(x1, nx - 1);
+  y1 = std::min(y1, ny - 1);
+  for (std::uint32_t iy = y0; iy <= y1 && iy < ny; ++iy) {
+    for (std::uint32_t ix = x0; ix <= x1 && ix < nx; ++ix) {
+      active[node(ix, iy)] = 0;
+    }
+  }
+}
+
+void PdnTopology::jitter_edges(double frac, std::uint64_t seed) {
+  const double f = std::clamp(frac, 0.0, 0.95);
+  if (f <= 0.0) return;
+  Rng r(seed);
+  for (double& g : g_h) g *= r.uniform(1.0 - f, 1.0 + f);
+  for (double& g : g_v) g *= r.uniform(1.0 - f, 1.0 + f);
+}
+
+void PdnTopology::add_pad(std::uint32_t ix, std::uint32_t iy, bool is_vdd,
+                          double g) {
+  auto& vec = is_vdd ? vdd_pad_g : vss_pad_g;
+  vec[node(ix, iy)] += g;
+}
+
+void PdnTopology::add_pad_at(const Rect& die, Point p, bool is_vdd, double g) {
+  const double fx = (p.x - die.x0) / die.width() * (nx - 1);
+  const double fy = (p.y - die.y0) / die.height() * (ny - 1);
+  const auto ix = static_cast<std::uint32_t>(
+      std::clamp(std::lround(fx), 0l, static_cast<long>(nx - 1)));
+  const auto iy = static_cast<std::uint32_t>(
+      std::clamp(std::lround(fy), 0l, static_cast<long>(ny - 1)));
+  add_pad(ix, iy, is_vdd, g);
+}
+
+void PdnTopology::finalize() {
+  const std::size_t n = static_cast<std::size_t>(nx) * ny;
+
+  auto zero_edges_of = [&](std::uint32_t ix, std::uint32_t iy) {
+    if (ix > 0) g_h[iy * (nx - 1) + (ix - 1)] = 0.0;
+    if (ix + 1 < nx) g_h[iy * (nx - 1) + ix] = 0.0;
+    if (iy > 0) g_v[(iy - 1) * nx + ix] = 0.0;
+    if (iy + 1 < ny) g_v[iy * nx + ix] = 0.0;
+  };
+  for (std::uint32_t iy = 0; iy < ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < nx; ++ix) {
+      if (!active[node(ix, iy)]) zero_edges_of(ix, iy);
+    }
+  }
+
+  // Flood-fill components over g > 0 edges (g == 0 means "no wire", whether
+  // it came from a void or straight from a spec). A component that cannot
+  // reach both pad sets has a singular DC system on at least one rail --
+  // deactivate it entirely so every surviving equation is well-posed.
+  std::vector<std::uint32_t> comp(n, 0);  // 0 = unvisited
+  std::uint32_t n_comps = 0;
+  std::deque<std::uint32_t> queue;
+  for (std::size_t seed = 0; seed < n; ++seed) {
+    if (!active[seed] || comp[seed]) continue;
+    const std::uint32_t id = ++n_comps;
+    comp[seed] = id;
+    queue.push_back(static_cast<std::uint32_t>(seed));
+    double vdd_anchor = 0.0, vss_anchor = 0.0;
+    std::vector<std::uint32_t> members;
+    while (!queue.empty()) {
+      const std::uint32_t i = queue.front();
+      queue.pop_front();
+      members.push_back(i);
+      vdd_anchor += vdd_pad_g[i];
+      vss_anchor += vss_pad_g[i];
+      const std::uint32_t ix = i % nx, iy = i / nx;
+      auto visit = [&](std::uint32_t j, double g) {
+        if (g > 0.0 && active[j] && !comp[j]) {
+          comp[j] = id;
+          queue.push_back(j);
+        }
+      };
+      if (ix > 0) visit(i - 1, g_h[iy * (nx - 1) + (ix - 1)]);
+      if (ix + 1 < nx) visit(i + 1, g_h[iy * (nx - 1) + ix]);
+      if (iy > 0) visit(i - nx, g_v[(iy - 1) * nx + ix]);
+      if (iy + 1 < ny) visit(i + nx, g_v[iy * nx + ix]);
+    }
+    if (vdd_anchor <= 0.0 || vss_anchor <= 0.0) {
+      for (const std::uint32_t i : members) {
+        active[i] = 0;
+        vdd_pad_g[i] = 0.0;
+        vss_pad_g[i] = 0.0;
+        zero_edges_of(i % nx, i / nx);
+      }
+    }
+  }
+
+  active_nodes = 0;
+  for (std::size_t i = 0; i < n; ++i) active_nodes += active[i] ? 1 : 0;
+  if (active_nodes == 0) {
+    throw std::runtime_error(
+        "pdn topology: no node reaches both a VDD and a VSS pad");
+  }
+
+  // Nearest-active snap map: multi-source BFS over the full lattice (grid
+  // distance). Seeds enter in node-index order and neighbours are visited in
+  // a fixed order, so ties always break the same way.
+  snap.assign(n, 0);
+  std::vector<std::uint8_t> seen(n, 0);
+  queue.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active[i]) {
+      snap[i] = static_cast<std::uint32_t>(i);
+      seen[i] = 1;
+      queue.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t i = queue.front();
+    queue.pop_front();
+    const std::uint32_t ix = i % nx, iy = i / nx;
+    auto visit = [&](std::uint32_t j) {
+      if (!seen[j]) {
+        seen[j] = 1;
+        snap[j] = snap[i];
+        queue.push_back(j);
+      }
+    };
+    if (ix > 0) visit(i - 1);
+    if (ix + 1 < nx) visit(i + 1);
+    if (iy > 0) visit(i - nx);
+    if (iy + 1 < ny) visit(i + nx);
+  }
+}
+
+PdnTopology make_fuzz_topology(const Floorplan& fp, const PowerGridOptions& opt,
+                               std::size_t voids, double jitter_frac,
+                               std::uint64_t seed) {
+  PdnTopology t =
+      PdnTopology::uniform(opt.nx, opt.ny, 1.0 / opt.segment_res_ohm);
+  if (jitter_frac > 0.0) {
+    t.jitter_edges(jitter_frac, seed ^ 0x9e3779b97f4a7c15ull);
+  }
+  // Voids stay strictly interior so the boundary ring (where the floorplan
+  // pads land) always survives and the mesh is never fully disconnected.
+  if (voids > 0 && opt.nx > 2 && opt.ny > 2) {
+    Rng vr(seed ^ 0xda942042e4dd58b5ull);
+    const std::uint32_t max_w = std::max(1u, opt.nx / 4);
+    const std::uint32_t max_h = std::max(1u, opt.ny / 4);
+    for (std::size_t k = 0; k < voids; ++k) {
+      const std::uint32_t w =
+          std::min<std::uint32_t>(1 + static_cast<std::uint32_t>(vr.below(max_w)),
+                                  opt.nx - 2);
+      const std::uint32_t h =
+          std::min<std::uint32_t>(1 + static_cast<std::uint32_t>(vr.below(max_h)),
+                                  opt.ny - 2);
+      const std::uint32_t x0 =
+          1 + static_cast<std::uint32_t>(vr.below(opt.nx - 1 - w));
+      const std::uint32_t y0 =
+          1 + static_cast<std::uint32_t>(vr.below(opt.ny - 1 - h));
+      t.punch_void(x0, y0, x0 + w - 1, y0 + h - 1);
+    }
+  }
+  const double gpad = 1.0 / opt.pad_res_ohm;
+  for (const PowerPad& pad : fp.pads()) {
+    t.add_pad_at(fp.die(), pad.pos, pad.is_vdd, gpad);
+  }
+  t.finalize();
+  return t;
+}
+
+}  // namespace scap

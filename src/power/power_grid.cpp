@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/metrics.h"
+#include "power/multigrid.h"
 #include "rt/parallel.h"
 
 namespace scap {
@@ -63,13 +64,34 @@ double GridSolution::average_in(const Rect& r) const {
 
 PowerGrid::PowerGrid(const Floorplan& fp, PowerGridOptions opt)
     : opt_(opt), die_(fp.die()) {
-  const std::size_t n = static_cast<std::size_t>(opt_.nx) * opt_.ny;
-  vdd_pad_conductance_.assign(n, 0.0);
-  vss_pad_conductance_.assign(n, 0.0);
+  topo_ = PdnTopology::uniform(opt_.nx, opt_.ny, 1.0 / opt_.segment_res_ohm);
   const double gpad = 1.0 / opt_.pad_res_ohm;
   for (const PowerPad& pad : fp.pads()) {
-    auto& vec = pad.is_vdd ? vdd_pad_conductance_ : vss_pad_conductance_;
-    vec[nearest_node(pad.pos)] += gpad;
+    topo_.add_pad_at(die_, pad.pos, pad.is_vdd, gpad);
+  }
+  topo_.finalize();
+  init_solver();
+}
+
+PowerGrid::PowerGrid(const Rect& die, PowerGridOptions opt, PdnTopology topo)
+    : opt_(opt), die_(die), topo_(std::move(topo)) {
+  opt_.nx = topo_.nx;
+  opt_.ny = topo_.ny;
+  init_solver();
+}
+
+void PowerGrid::init_solver() {
+  resolved_ = opt_.solver;
+  if (resolved_ == GridSolver::kAuto) {
+    // SOR converges comfortably on small meshes and keeps its decade of
+    // bit-identical history there; multigrid takes over where SOR's
+    // iteration count (and wall clock) explodes.
+    resolved_ = std::min(opt_.nx, opt_.ny) >= 64 ? GridSolver::kMultigrid
+                                                 : GridSolver::kSor;
+  }
+  if (resolved_ == GridSolver::kMultigrid) {
+    mg_ = std::make_shared<mg::Hierarchy>(topo_,
+                                          std::max(1u, opt_.mg_coarsest_nodes));
   }
 }
 
@@ -83,26 +105,53 @@ std::uint32_t PowerGrid::nearest_node(Point p) const {
   return node_index(ix, iy);
 }
 
+std::vector<double> PowerGrid::gather_currents(
+    std::span<const Point> where, std::span<const double> amps) const {
+  const std::size_t n = static_cast<std::size_t>(opt_.nx) * opt_.ny;
+  std::vector<double> current(n, 0.0);
+  for (std::size_t i = 0; i < where.size(); ++i) {
+    // Loads that land inside a void snap to the nearest surviving node
+    // (identity on uniform meshes).
+    current[topo_.snap[nearest_node(where[i])]] += amps[i];
+  }
+  return current;
+}
+
 GridSolution PowerGrid::solve(std::span<const Point> where,
                               std::span<const double> amps,
                               bool vdd_rail) const {
+  const std::vector<double> current = gather_currents(where, amps);
+  GridSolution sol = resolved_ == GridSolver::kMultigrid
+                         ? solve_multigrid(current, vdd_rail)
+                         : solve_sor(current, vdd_rail);
+  obs::count("power.grid_solves_total");
+  if (!sol.converged) {
+    obs::count("power.grid_solve_nonconverged");
+    std::fprintf(stderr,
+                 "scapgen: warning: power-grid solve stopped non-converged "
+                 "after %u iterations (residual %.3e V > tol %.3e V); the IR "
+                 "map may understate drops\n",
+                 sol.iterations, sol.final_delta_v, opt_.tolerance_v);
+  }
+  return sol;
+}
+
+GridSolution PowerGrid::solve_sor(std::span<const double> current,
+                                  bool vdd_rail) const {
   const std::uint32_t nx = opt_.nx, ny = opt_.ny;
   const std::size_t n = static_cast<std::size_t>(nx) * ny;
-
-  std::vector<double> current(n, 0.0);
-  for (std::size_t i = 0; i < where.size(); ++i) {
-    current[nearest_node(where[i])] += amps[i];
-  }
-
   const std::vector<double>& pad_g =
-      vdd_rail ? vdd_pad_conductance_ : vss_pad_conductance_;
-  const double gseg = 1.0 / opt_.segment_res_ohm;
+      vdd_rail ? topo_.vdd_pad_g : topo_.vss_pad_g;
+  const std::vector<double>& gh = topo_.g_h;
+  const std::vector<double>& gv = topo_.g_v;
+  const std::vector<std::uint8_t>& act = topo_.active;
 
   GridSolution sol;
   sol.nx = nx;
   sol.ny = ny;
   sol.die = die_;
   sol.drop_v.assign(n, 0.0);
+  sol.solver = GridSolver::kSor;
 
   // Red-black SOR sweeps. The 4-neighbour mesh is bipartite under
   // (ix + iy) parity, so every update of one colour reads only the other
@@ -110,7 +159,9 @@ GridSolution PowerGrid::solve(std::span<const Point> where,
   // which makes the sweep safe to run on the rt pool AND bit-identical at
   // any thread count (max-of-|delta| is an exact reduction). Large meshes
   // split the pass into row bands; small ones stay inline -- both paths
-  // produce the same values by construction.
+  // produce the same values by construction. On a uniform topology the edge
+  // arrays all hold the same conductance, so the arithmetic (values and
+  // order) is unchanged from the original constant-gseg solver.
   std::vector<double>& d = sol.drop_v;
   const bool parallel = n >= 8192 && rt::concurrency() > 1 &&
                         !rt::ThreadPool::on_worker_thread();
@@ -124,23 +175,28 @@ GridSolution PowerGrid::solve(std::span<const Point> where,
           for (std::uint32_t ix = (iy + static_cast<std::uint32_t>(color)) & 1u;
                ix < nx; ix += 2) {
             const std::uint32_t i = node_index(ix, iy);
+            if (!act[i]) continue;
             double gsum = pad_g[i];
             double flow = current[i];
             if (ix > 0) {
-              gsum += gseg;
-              flow += gseg * d[i - 1];
+              const double g = gh[iy * (nx - 1) + (ix - 1)];
+              gsum += g;
+              flow += g * d[i - 1];
             }
             if (ix + 1 < nx) {
-              gsum += gseg;
-              flow += gseg * d[i + 1];
+              const double g = gh[iy * (nx - 1) + ix];
+              gsum += g;
+              flow += g * d[i + 1];
             }
             if (iy > 0) {
-              gsum += gseg;
-              flow += gseg * d[i - nx];
+              const double g = gv[(iy - 1) * nx + ix];
+              gsum += g;
+              flow += g * d[i - nx];
             }
             if (iy + 1 < ny) {
-              gsum += gseg;
-              flow += gseg * d[i + nx];
+              const double g = gv[iy * nx + ix];
+              gsum += g;
+              flow += g * d[i + nx];
             }
             const double next = flow / gsum;
             const double relaxed = d[i] + opt_.sor_omega * (next - d[i]);
@@ -167,16 +223,65 @@ GridSolution PowerGrid::solve(std::span<const Point> where,
       break;
     }
   }
-  obs::count("power.grid_solves_total");
-  if (!sol.converged) {
-    obs::count("power.grid_solve_nonconverged");
-    std::fprintf(stderr,
-                 "scapgen: warning: power-grid solve stopped non-converged "
-                 "after %u iterations (residual %.3e V > tol %.3e V); the IR "
-                 "map may understate drops\n",
-                 sol.iterations, sol.final_delta_v, opt_.tolerance_v);
-  }
   return sol;
+}
+
+GridSolution PowerGrid::solve_multigrid(std::span<const double> current,
+                                        bool vdd_rail) const {
+  GridSolution sol;
+  sol.nx = opt_.nx;
+  sol.ny = opt_.ny;
+  sol.die = die_;
+  sol.solver = GridSolver::kMultigrid;
+  const mg::SolveResult r =
+      mg_->solve(current, vdd_rail, opt_.tolerance_v, opt_.max_iterations,
+                 opt_.mg_pre_sweeps, opt_.mg_post_sweeps, sol.drop_v);
+  sol.iterations = r.cycles;
+  sol.final_delta_v = r.final_delta_v;
+  sol.converged = r.converged;
+  return sol;
+}
+
+double PowerGrid::residual_inf(const GridSolution& sol,
+                               std::span<const Point> where,
+                               std::span<const double> amps,
+                               bool vdd_rail) const {
+  const std::vector<double> b = gather_currents(where, amps);
+  const std::vector<double>& pad_g =
+      vdd_rail ? topo_.vdd_pad_g : topo_.vss_pad_g;
+  const std::uint32_t nx = opt_.nx, ny = opt_.ny;
+  const std::vector<double>& d = sol.drop_v;
+  double worst = 0.0;
+  for (std::uint32_t iy = 0; iy < ny; ++iy) {
+    for (std::uint32_t ix = 0; ix < nx; ++ix) {
+      const std::uint32_t i = node_index(ix, iy);
+      if (!topo_.active[i]) continue;
+      double gsum = pad_g[i];
+      double flow = 0.0;
+      if (ix > 0) {
+        const double g = topo_.g_h[iy * (nx - 1) + (ix - 1)];
+        gsum += g;
+        flow += g * d[i - 1];
+      }
+      if (ix + 1 < nx) {
+        const double g = topo_.g_h[iy * (nx - 1) + ix];
+        gsum += g;
+        flow += g * d[i + 1];
+      }
+      if (iy > 0) {
+        const double g = topo_.g_v[(iy - 1) * nx + ix];
+        gsum += g;
+        flow += g * d[i - nx];
+      }
+      if (iy + 1 < ny) {
+        const double g = topo_.g_v[iy * nx + ix];
+        gsum += g;
+        flow += g * d[i + nx];
+      }
+      worst = std::max(worst, std::abs(b[i] - (gsum * d[i] - flow)));
+    }
+  }
+  return worst;
 }
 
 std::string PowerGrid::ascii_map(const GridSolution& sol, double alarm_v,

@@ -1,15 +1,30 @@
 // Resistive power-distribution-network model and DC IR-drop solver.
 //
-// Each rail (VDD and VSS) is a uniform 2-D resistive mesh spanning the die,
-// fed by ideal pads on the periphery (the Turbo-Eagle floorplan has 37 pads
-// per rail). Instance switching currents are injected at the nearest mesh
-// node and the resulting node voltages are obtained from the linear system
+// Each rail (VDD and VSS) is a 2-D resistive mesh spanning the die -- by
+// default uniform with ideal periphery pads (the Turbo-Eagle floorplan has
+// 37 pads per rail), but any irregular PdnTopology (per-edge conductances,
+// punched-out void regions, explicit pad sites; see power/pdn_topology.h
+// and the power/pdn_spec.h import format) can back the grid. Instance
+// switching currents are injected at the nearest active mesh node and the
+// resulting node voltages are obtained from the linear system
 //
 //     sum_j g_ij (d_i - d_j) + g_pad,i * d_i = I_i
 //
-// solved by successive over-relaxation. d_i is the *drop* at node i: VDD
-// loss on the VDD rail, ground bounce on the VSS rail -- the same equations
-// apply to both because the floorplan places the two pad sets symmetrically.
+// d_i is the *drop* at node i: VDD loss on the VDD rail, ground bounce on
+// the VSS rail -- the same equations apply to both because the floorplan
+// places the two pad sets symmetrically.
+//
+// Two solvers sit behind solve():
+//  - red-black SOR: the original solver, O(n^1.5)-ish sweeps to converge;
+//    retained as the small-mesh default and as an in-tree oracle for the
+//    multigrid path;
+//  - geometric multigrid (power/multigrid.h): mesh-independent convergence,
+//    the default at >= 64x64 where SOR's iteration count explodes.
+// Both run their sweeps on the rt pool under the bit-identical-at-any-
+// SCAP_THREADS contract, and both report honest convergence: `converged`,
+// `iterations` and `final_delta_v` on the solution, plus the
+// "power.grid_solve_nonconverged" obs counter and a stderr warning when the
+// budget runs out.
 //
 // This is the library's stand-in for the rail analysis the paper runs in
 // Cadence SOC Encounter; both the statistical (vector-less) and the dynamic
@@ -17,14 +32,26 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "layout/floorplan.h"
+#include "power/pdn_topology.h"
 #include "util/geometry.h"
 
 namespace scap {
+
+namespace mg {
+class Hierarchy;
+}
+
+enum class GridSolver : std::uint8_t {
+  kAuto = 0,       ///< multigrid at >= 64x64, SOR below
+  kSor = 1,        ///< red-black successive over-relaxation
+  kMultigrid = 2,  ///< geometric multigrid W-cycles
+};
 
 struct PowerGridOptions {
   std::uint32_t nx = 48;
@@ -37,14 +64,22 @@ struct PowerGridOptions {
   double pad_res_ohm = 0.08;
   double sor_omega = 1.9;
   double tolerance_v = 1e-7;
+  /// SOR: sweep budget. Multigrid: W-cycle budget (converges in ~10).
   std::uint32_t max_iterations = 20000;
+  GridSolver solver = GridSolver::kAuto;
+  /// Multigrid tuning: red-black GS sweeps before/after each coarse-grid
+  /// correction, and the active-node count at which coarsening stops and a
+  /// dense direct solve takes over.
+  std::uint32_t mg_pre_sweeps = 2;
+  std::uint32_t mg_post_sweeps = 2;
+  std::uint32_t mg_coarsest_nodes = 64;
 };
 
 struct GridSolution {
   std::uint32_t nx = 0;
   std::uint32_t ny = 0;
   Rect die;
-  std::vector<double> drop_v;  ///< row-major node drops [V]
+  std::vector<double> drop_v;  ///< row-major node drops [V]; 0 on void nodes
   std::uint32_t iterations = 0;
   /// False when the sweep budget (max_iterations) ran out before the update
   /// delta fell below tolerance_v; such a map may understate the true drops.
@@ -53,6 +88,9 @@ struct GridSolution {
   bool converged = false;
   /// Largest node update of the final sweep [V] (the convergence residual).
   double final_delta_v = 0.0;
+  /// Which solver actually produced this map (kAuto resolves at grid
+  /// construction, so this is never kAuto).
+  GridSolver solver = GridSolver::kSor;
 
   double node(std::uint32_t ix, std::uint32_t iy) const {
     return drop_v[iy * nx + ix];
@@ -66,12 +104,21 @@ struct GridSolution {
 
 class PowerGrid {
  public:
+  /// Uniform mesh from the options, pads taken from the floorplan.
   PowerGrid(const Floorplan& fp, PowerGridOptions opt = PowerGridOptions{});
+  /// Irregular mesh: `topo` must be finalized; its nx/ny override the
+  /// options' (pads and edges come from the topology, not the floorplan).
+  PowerGrid(const Rect& die, PowerGridOptions opt, PdnTopology topo);
 
   /// Solve one rail for the given point current injections [A].
   /// vdd_rail selects which pad set anchors the mesh.
   GridSolution solve(std::span<const Point> where, std::span<const double> amps,
                      bool vdd_rail) const;
+
+  /// Max over active nodes of |I_i - (A d)_i| [A] -- the true equation
+  /// residual of a solution, independent of the solver's own stop metric.
+  double residual_inf(const GridSolution& sol, std::span<const Point> where,
+                      std::span<const double> amps, bool vdd_rail) const;
 
   /// ASCII heat map; cells above alarm_v render '#' (the paper's Figure 3
   /// "red region" at 10% of VDD), with a linear ramp " .:-=+*%@" below.
@@ -80,17 +127,29 @@ class PowerGrid {
 
   const PowerGridOptions& options() const { return opt_; }
   const Rect& die() const { return die_; }
+  const PdnTopology& topology() const { return topo_; }
+  /// The solver solve() will use (kAuto resolved against the mesh size).
+  GridSolver resolved_solver() const { return resolved_; }
 
  private:
   std::uint32_t node_index(std::uint32_t ix, std::uint32_t iy) const {
     return iy * opt_.nx + ix;
   }
   std::uint32_t nearest_node(Point p) const;
+  void init_solver();
+  std::vector<double> gather_currents(std::span<const Point> where,
+                                      std::span<const double> amps) const;
+  GridSolution solve_sor(std::span<const double> current,
+                         bool vdd_rail) const;
+  GridSolution solve_multigrid(std::span<const double> current,
+                               bool vdd_rail) const;
 
   PowerGridOptions opt_;
   Rect die_;
-  std::vector<double> vdd_pad_conductance_;  ///< per node [S]
-  std::vector<double> vss_pad_conductance_;
+  PdnTopology topo_;
+  GridSolver resolved_ = GridSolver::kSor;
+  /// Immutable after construction; shared so PowerGrid stays copyable.
+  std::shared_ptr<const mg::Hierarchy> mg_;
 };
 
 }  // namespace scap

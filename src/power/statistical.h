@@ -45,6 +45,13 @@ struct StatisticalReport {
   double chip_worst_vss_v = 0.0;
   GridSolution vdd_solution;
   GridSolution vss_solution;
+
+  /// True only when both rail solves converged; a false report may
+  /// understate every IR number above (the solves already bumped
+  /// "power.grid_solve_nonconverged" and logged a warning).
+  bool rails_converged() const {
+    return vdd_solution.converged && vss_solution.converged;
+  }
 };
 
 StatisticalReport analyze_statistical(

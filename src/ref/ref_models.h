@@ -83,4 +83,18 @@ GridSolution grid_solve_ref(const Floorplan& fp, const PowerGridOptions& opt,
                             std::span<const double> amps, bool vdd_rail,
                             std::size_t max_sweeps = 200000);
 
+/// Irregular-topology reference. The finalized PdnTopology (per-edge
+/// conductances, voids, pad anchors, injection snap map) is the *problem
+/// statement* shared with the production solvers; everything downstream of
+/// it -- matrix assembly, factorization, iteration -- is independent. At or
+/// below kDenseNodeLimit active nodes the system is solved exactly by dense
+/// LU with partial pivoting (so the oracle carries no iteration truncation
+/// at all); above it, natural-order Gauss-Seidel on the per-edge 5-point
+/// stencil, iterated well past the production tolerance.
+GridSolution grid_solve_ref(const Rect& die, const PdnTopology& topo,
+                            const PowerGridOptions& opt,
+                            std::span<const Point> where,
+                            std::span<const double> amps, bool vdd_rail,
+                            std::size_t max_sweeps = 200000);
+
 }  // namespace scap::ref

@@ -36,6 +36,12 @@ Scenario Scenario::random(std::uint64_t seed) {
   // engine default.
   constexpr std::uint64_t kWidths[] = {0, 1, 2, 4};
   sc.batch_words = kWidths[r.below(4)];
+  // Irregular-topology axes (drawn last so earlier fields keep their values
+  // for a given seed): voids + jitter deform the mesh, and the solver select
+  // decides which production solver(s) face the reference.
+  sc.grid_voids = r.below(4);
+  sc.grid_jitter = r.chance(0.5) ? 0.0 : r.uniform(0.05, 0.5);
+  sc.grid_solver = r.below(3);
   return sc;
 }
 
@@ -63,6 +69,9 @@ Scenario Scenario::parse(const std::string& text) {
   sc.grid_ny = doc.get_u64("grid_ny", sc.grid_ny);
   sc.grid_sources = doc.get_u64("grid_sources", sc.grid_sources);
   sc.grid_seed = doc.get_u64("grid_seed", sc.grid_seed);
+  sc.grid_voids = doc.get_u64("grid_voids", sc.grid_voids);
+  sc.grid_jitter = doc.get_f64("grid_jitter", sc.grid_jitter);
+  sc.grid_solver = doc.get_u64("grid_solver", sc.grid_solver);
   sc.fault_sample = doc.get_u64("fault_sample", sc.fault_sample);
   sc.fault_seed = doc.get_u64("fault_seed", sc.fault_seed);
   sc.batch_words = doc.get_u64("batch_words", sc.batch_words);
@@ -97,6 +106,9 @@ std::string Scenario::serialize() const {
   doc.set_u64("grid_ny", grid_ny);
   doc.set_u64("grid_sources", grid_sources);
   doc.set_u64("grid_seed", grid_seed);
+  doc.set_u64("grid_voids", grid_voids);
+  doc.set_f64("grid_jitter", grid_jitter);
+  doc.set_u64("grid_solver", grid_solver);
   doc.set_u64("fault_sample", fault_sample);
   doc.set_u64("fault_seed", fault_seed);
   doc.set_u64("batch_words", batch_words);

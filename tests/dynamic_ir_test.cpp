@@ -40,6 +40,9 @@ TEST(DynamicIr, ActivePatternProducesDrop) {
   const auto rep = rig.ir_of(pa.trace);
   EXPECT_GT(rep.worst_vdd_v, 0.0);
   EXPECT_GT(rep.worst_vss_v, 0.0);
+  // Both rail solves must hit tolerance -- a truncated map would silently
+  // understate every droop downstream.
+  EXPECT_TRUE(rep.rails_converged());
   EXPECT_DOUBLE_EQ(rep.window_ns, pa.trace.stw_ns());
 }
 

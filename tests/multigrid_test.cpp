@@ -1,0 +1,297 @@
+// Geometric multigrid PDN solver: agreement with the SOR solver and the
+// dense-LU reference, irregular-topology (void / jittered) meshes, the
+// PdnSpec import format, the honest-convergence contract, and bit-identity
+// across SCAP_THREADS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "layout/floorplan.h"
+#include "obs/metrics.h"
+#include "power/multigrid.h"
+#include "power/pdn_spec.h"
+#include "power/pdn_topology.h"
+#include "power/power_grid.h"
+#include "ref/compare.h"
+#include "ref/ref_models.h"
+#include "rt/thread_pool.h"
+#include "util/rng.h"
+
+namespace scap {
+namespace {
+
+/// Run fn at a pinned pool size, then restore the environment default.
+template <typename Fn>
+auto at_threads(std::size_t threads, Fn&& fn) {
+  rt::ThreadPool::set_global_concurrency(threads);
+  auto out = fn();
+  rt::ThreadPool::set_global_concurrency(0);
+  return out;
+}
+
+struct Loads {
+  std::vector<Point> where;
+  std::vector<double> amps;
+};
+
+Loads random_loads(const Rect& die, std::size_t n, std::uint64_t seed) {
+  Rng r(seed);
+  Loads l;
+  l.where.resize(n);
+  l.amps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    l.where[i] = {r.uniform(die.x0, die.x1), r.uniform(die.y0, die.y1)};
+    l.amps[i] = r.uniform(1e-3, 2e-2);
+  }
+  return l;
+}
+
+PowerGridOptions options_for(std::uint32_t mesh, GridSolver solver) {
+  PowerGridOptions opt;
+  opt.nx = mesh;
+  opt.ny = mesh;
+  opt.solver = solver;
+  return opt;
+}
+
+TEST(Multigrid, AutoSelectsSolverBySize) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 8);
+  const PowerGrid small(fp, options_for(48, GridSolver::kAuto));
+  const PowerGrid large(fp, options_for(64, GridSolver::kAuto));
+  EXPECT_EQ(small.resolved_solver(), GridSolver::kSor);
+  EXPECT_EQ(large.resolved_solver(), GridSolver::kMultigrid);
+
+  const Loads l = random_loads(fp.die(), 8, 11);
+  EXPECT_EQ(small.solve(l.where, l.amps, true).solver, GridSolver::kSor);
+  EXPECT_EQ(large.solve(l.where, l.amps, true).solver, GridSolver::kMultigrid);
+}
+
+TEST(Multigrid, AgreesWithSorOnUniformMesh) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 12);
+  const PowerGrid mg_grid(fp, options_for(48, GridSolver::kMultigrid));
+  const PowerGrid sor_grid(fp, options_for(48, GridSolver::kSor));
+  const Loads l = random_loads(fp.die(), 24, 23);
+  for (const bool rail : {true, false}) {
+    const GridSolution m = mg_grid.solve(l.where, l.amps, rail);
+    const GridSolution s = sor_grid.solve(l.where, l.amps, rail);
+    EXPECT_TRUE(m.converged);
+    EXPECT_TRUE(s.converged);
+    // Multigrid needs an order of magnitude fewer (much heavier) iterations.
+    EXPECT_LT(m.iterations, s.iterations);
+    std::string why;
+    EXPECT_TRUE(ref::compare_grid(m, s, &why)) << why;
+  }
+}
+
+TEST(Multigrid, AgreesWithDenseLuOnIrregularMesh) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 12);
+  PowerGridOptions opt = options_for(14, GridSolver::kMultigrid);
+  // 14x14 = 196 nodes (minus voids) <= kDenseNodeLimit: the reference is an
+  // exact direct solve, so this also bounds multigrid's absolute error.
+  const PdnTopology topo = make_fuzz_topology(fp, opt, /*voids=*/2,
+                                              /*jitter_frac=*/0.4, /*seed=*/7);
+  ASSERT_LE(topo.active_nodes, ref::kDenseNodeLimit);
+  ASSERT_LT(topo.active_nodes, static_cast<std::size_t>(14 * 14));
+  const PowerGrid grid(fp.die(), opt, topo);
+  const Loads l = random_loads(fp.die(), 16, 31);
+  for (const bool rail : {true, false}) {
+    const GridSolution m = grid.solve(l.where, l.amps, rail);
+    const GridSolution r =
+        ref::grid_solve_ref(fp.die(), topo, opt, l.where, l.amps, rail);
+    EXPECT_TRUE(m.converged);
+    EXPECT_TRUE(r.converged);
+    std::string why;
+    EXPECT_TRUE(ref::compare_grid(m, r, &why)) << why;
+  }
+}
+
+TEST(Multigrid, VoidNodesCarryZeroDropAndLoadsSnapOut) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 8);
+  PowerGridOptions opt = options_for(16, GridSolver::kMultigrid);
+  PdnTopology topo =
+      PdnTopology::uniform(16, 16, 1.0 / opt.segment_res_ohm);
+  topo.punch_void(6, 6, 9, 9);
+  const double gpad = 1.0 / opt.pad_res_ohm;
+  for (const PowerPad& pad : fp.pads()) {
+    topo.add_pad_at(fp.die(), pad.pos, pad.is_vdd, gpad);
+  }
+  topo.finalize();
+  EXPECT_EQ(topo.active_nodes, static_cast<std::size_t>(16 * 16 - 16));
+  // A node inside the void snaps to an active node.
+  EXPECT_NE(topo.snap[topo.node(7, 7)], topo.node(7, 7));
+  EXPECT_TRUE(topo.active[topo.snap[topo.node(7, 7)]]);
+
+  // Inject exactly at the die center (inside the void): the current must
+  // land on the surviving mesh and produce positive drops around the hole,
+  // while every void node reports exactly zero.
+  const PowerGrid grid(fp.die(), opt, topo);
+  const Point center{500.0, 500.0};
+  const double amps = 0.05;
+  const GridSolution sol = grid.solve(std::span<const Point>(&center, 1),
+                                      std::span<const double>(&amps, 1), true);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_GT(sol.worst(), 0.0);
+  for (std::uint32_t iy = 6; iy <= 9; ++iy) {
+    for (std::uint32_t ix = 6; ix <= 9; ++ix) {
+      EXPECT_EQ(sol.node(ix, iy), 0.0);
+    }
+  }
+  EXPECT_GT(sol.node(5, 7), 0.0);
+}
+
+TEST(Multigrid, ResidualContractHonest) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 8);
+  PowerGridOptions opt = options_for(96, GridSolver::kMultigrid);
+  opt.max_iterations = 1;  // rig the budget so one W-cycle cannot converge
+  const PowerGrid grid(fp, opt);
+  const Point p{500.0, 500.0};
+  const double amps = 0.1;
+  const GridSolution sol = grid.solve(std::span<const Point>(&p, 1),
+                                      std::span<const double>(&amps, 1), true);
+  EXPECT_FALSE(sol.converged);
+  EXPECT_EQ(sol.iterations, 1u);
+  EXPECT_GT(sol.final_delta_v, opt.tolerance_v);
+  if (obs::metrics_enabled()) {
+    EXPECT_GE(
+        obs::Registry::global().counter("power.grid_solve_nonconverged").value(),
+        1u);
+  }
+
+  // And the converged solve drives the true equation residual orders of
+  // magnitude below the one-cycle map's.
+  PowerGridOptions full = options_for(96, GridSolver::kMultigrid);
+  const PowerGrid grid_full(fp, full);
+  const GridSolution conv = grid_full.solve(std::span<const Point>(&p, 1),
+                                            std::span<const double>(&amps, 1),
+                                            true);
+  EXPECT_TRUE(conv.converged);
+  const double res_one = grid_full.residual_inf(
+      sol, std::span<const Point>(&p, 1), std::span<const double>(&amps, 1),
+      true);
+  const double res_conv = grid_full.residual_inf(
+      conv, std::span<const Point>(&p, 1), std::span<const double>(&amps, 1),
+      true);
+  EXPECT_GT(res_one, 0.0);
+  EXPECT_LT(res_conv, res_one * 1e-2);
+}
+
+TEST(Multigrid, BitIdenticalAcrossThreadCounts) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 16);
+  PowerGridOptions opt = options_for(128, GridSolver::kMultigrid);
+  // 128x128 with voids: the finest level crosses the parallel-sweep
+  // threshold, the coarse levels stay inline -- exactly the mixed regime the
+  // determinism contract has to survive.
+  const PdnTopology topo = make_fuzz_topology(fp, opt, /*voids=*/3,
+                                              /*jitter_frac=*/0.25,
+                                              /*seed=*/5);
+  const PowerGrid grid(fp.die(), opt, topo);
+  const Loads l = random_loads(fp.die(), 32, 47);
+  auto run = [&] {
+    std::vector<GridSolution> sols;
+    for (const bool rail : {true, false}) {
+      sols.push_back(grid.solve(l.where, l.amps, rail));
+    }
+    return sols;
+  };
+  const auto at1 = at_threads(1, run);
+  const auto at4 = at_threads(4, run);
+  ASSERT_EQ(at1.size(), at4.size());
+  for (std::size_t i = 0; i < at1.size(); ++i) {
+    EXPECT_TRUE(at1[i].converged);
+    EXPECT_EQ(at1[i].iterations, at4[i].iterations);
+    EXPECT_EQ(at1[i].final_delta_v, at4[i].final_delta_v);
+    ASSERT_EQ(at1[i].drop_v.size(), at4[i].drop_v.size());
+    for (std::size_t k = 0; k < at1[i].drop_v.size(); ++k) {
+      ASSERT_EQ(at1[i].drop_v[k], at4[i].drop_v[k]) << "node " << k;
+    }
+  }
+}
+
+TEST(Multigrid, LinearInTheLoad) {
+  const Floorplan fp = Floorplan::turbo_eagle_like(1000.0, 8);
+  const PowerGrid grid(fp, options_for(64, GridSolver::kMultigrid));
+  const Loads l = random_loads(fp.die(), 8, 53);
+  std::vector<double> doubled = l.amps;
+  for (double& a : doubled) a *= 2.0;
+  const GridSolution one = grid.solve(l.where, l.amps, true);
+  const GridSolution two = grid.solve(l.where, doubled, true);
+  ASSERT_EQ(one.drop_v.size(), two.drop_v.size());
+  for (std::size_t i = 0; i < one.drop_v.size(); ++i) {
+    EXPECT_TRUE(ref::close_enough(2.0 * one.drop_v[i], two.drop_v[i],
+                                  ref::kGridRelTol, ref::kGridAbsTolV));
+  }
+}
+
+TEST(PdnSpec, RoundTripsAndBuildsTopology) {
+  const std::string text =
+      "# test spec\n"
+      "mesh 16 16\n"
+      "die 0 0 1000 1000\n"
+      "segment_res_ohm 0.5\n"
+      "pad_res_ohm 0.1\n"
+      "jitter 0.3 7\n"
+      "void 6 6 9 9\n"
+      "pad vdd 0 0\n"
+      "pad vdd 15 15\n"
+      "pad vss 15 0\n"
+      "pad vss 0 15\n"
+      "source 3 12 0.02\n"
+      "source 12 3 0.01\n";
+  const PdnSpec spec = PdnSpec::parse(text);
+  EXPECT_EQ(spec.nx, 16u);
+  EXPECT_EQ(spec.voids.size(), 1u);
+  EXPECT_EQ(spec.pads.size(), 4u);
+  EXPECT_EQ(spec.sources.size(), 2u);
+
+  const PdnSpec again = PdnSpec::parse(spec.serialize());
+  const PdnTopology t1 = spec.topology();
+  const PdnTopology t2 = again.topology();
+  EXPECT_EQ(t1.active_nodes, t2.active_nodes);
+  EXPECT_EQ(t1.g_h, t2.g_h);
+  EXPECT_EQ(t1.g_v, t2.g_v);
+  EXPECT_EQ(t1.vdd_pad_g, t2.vdd_pad_g);
+  EXPECT_EQ(t1.active_nodes, static_cast<std::size_t>(16 * 16 - 16));
+}
+
+TEST(PdnSpec, RejectsMalformedInput) {
+  EXPECT_THROW(PdnSpec::parse("die 0 0 1 1\n"), std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 1 1\n"), std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\nfrobnicate 1\n"), std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\npad vdd 8 0\n"), std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\npad gnd 0 0\n"), std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\nsource 0 0 -1\n"),
+               std::runtime_error);
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\nmesh 8 8 8\n"), std::runtime_error);
+  // A spec whose only pads sit on one rail has no well-posed system.
+  EXPECT_THROW(PdnSpec::parse("mesh 8 8\npad vdd 0 0\n").topology(),
+               std::runtime_error);
+}
+
+TEST(PdnSpec, SolvesEndToEnd) {
+  PdnSpec spec = PdnSpec::parse(
+      "mesh 24 24\n"
+      "segment_res_ohm 0.35\n"
+      "pad_res_ohm 0.08\n"
+      "void 10 10 13 13\n"
+      "pad vdd 0 0\npad vdd 23 23\npad vss 23 0\npad vss 0 23\n"
+      "source 5 18 0.04\n"
+      "source 18 5 0.02\n");
+  PowerGridOptions opt;
+  opt.solver = GridSolver::kMultigrid;
+  const PowerGrid grid(spec.die, opt, spec.topology());
+  const std::vector<Point> where = spec.source_points();
+  const std::vector<double> amps = spec.source_amps();
+  for (const bool rail : {true, false}) {
+    const GridSolution sol = grid.solve(where, amps, rail);
+    EXPECT_TRUE(sol.converged);
+    EXPECT_GT(sol.worst(), 0.0);
+    // The hot spot sits at the heavier source, not in the far corner.
+    EXPECT_GT(sol.drop_at(spec.node_point(5, 18)),
+              sol.drop_at(spec.node_point(23, 0)));
+  }
+}
+
+}  // namespace
+}  // namespace scap

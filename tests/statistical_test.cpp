@@ -98,6 +98,7 @@ TEST(Statistical, BothRailsReported) {
   const auto rep = rig.run(0.5);
   EXPECT_GT(rep.chip_worst_vdd_v, 0.0);
   EXPECT_GT(rep.chip_worst_vss_v, 0.0);
+  EXPECT_TRUE(rep.rails_converged());
   // Symmetric pad geometry: rails within 20% of each other.
   EXPECT_NEAR(rep.chip_worst_vss_v, rep.chip_worst_vdd_v,
               0.2 * rep.chip_worst_vdd_v);
